@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures via
+:mod:`repro.bench.experiments` and asserts its headline *shape* claim
+(who wins, roughly by how much).  Absolute numbers are simulated
+nanoseconds — see EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

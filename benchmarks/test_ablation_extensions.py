@@ -1,0 +1,88 @@
+"""Ablation benches for the paper's §5 future-work extensions.
+
+Not part of the paper's evaluated matrix — these quantify the designs
+the authors say they are building next: the advanced direct switch,
+switcher fault triage, WP-less synchronization, and direct paging.
+"""
+
+from conftest import run_once
+
+from repro import make_machine
+from repro.hw.types import MIB
+from repro.hypervisors.base import MachineConfig
+from repro.workloads.lmbench import fork_proc
+from repro.workloads.memalloc import memalloc
+from repro.workloads.ops import run_concurrent
+from repro.bench.harness import measure_concurrent_op_ns
+
+
+def _memalloc_ns(scenario: str, **cfg) -> int:
+    machine = make_machine(scenario, config=MachineConfig(**cfg))
+    return run_concurrent([machine], memalloc, total_bytes=2 * MIB).makespan_ns
+
+
+def test_extension_stack_on_fault_path(benchmark):
+    """Each §5 extension shaves the fault path further; stacked, the
+    fault-heavy benchmark approaches direct paging's constant cost."""
+
+    def run():
+        return {
+            "baseline": _memalloc_ns("pvm (NST)"),
+            "+triage": _memalloc_ns("pvm (NST)", switcher_fault_triage=True),
+            "+wp-less": _memalloc_ns(
+                "pvm (NST)", switcher_fault_triage=True, wp_less_sync=True
+            ),
+            "direct-paging": _memalloc_ns("pvm-dp (NST)"),
+        }
+
+    r = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert r["+triage"] < r["baseline"]
+    assert r["+wp-less"] < r["+triage"]
+    # Direct paging eliminates shadow maintenance; it beats baseline PVM
+    # on this write-heavy path.
+    assert r["direct-paging"] < r["baseline"]
+
+
+def test_fork_workload_extensions(benchmark):
+    """The paper names fork as PVM's weak spot; WP-less sync and direct
+    paging attack exactly that."""
+
+    def run():
+        return {
+            "pvm": measure_concurrent_op_ns("pvm (NST)", fork_proc, n=1),
+            "pvm+wpless": measure_concurrent_op_ns(
+                "pvm (NST)", fork_proc, n=1,
+                config=MachineConfig(wp_less_sync=True),
+            ),
+            "pvm-dp": measure_concurrent_op_ns("pvm-dp (NST)", fork_proc, n=1),
+            "kvm-ept": measure_concurrent_op_ns("kvm-ept (NST)", fork_proc, n=1),
+        }
+
+    r = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    # WP-less removes the per-write traps that dominate PVM's fork.
+    assert r["pvm+wpless"] < 0.5 * r["pvm"]
+    assert r["pvm-dp"] < r["pvm"]
+    # The gap to hardware-internal fork narrows but does not close.
+    assert r["kvm-ept"] < r["pvm+wpless"]
+
+
+def test_advanced_direct_switch_syscalls(benchmark):
+    """§5: sysret at h_ring3 approaches no-KPTI hardware syscalls."""
+
+    def run():
+        out = {}
+        for label, cfg in [
+            ("direct", dict(direct_switch=True)),
+            ("advanced", dict(direct_switch=True, advanced_direct_switch=True)),
+        ]:
+            m = make_machine("pvm (NST)", config=MachineConfig(**cfg))
+            ctx = m.new_context()
+            proc = m.spawn_process()
+            t0 = ctx.clock.now
+            for _ in range(200):
+                m.syscall(ctx, proc, "get_pid")
+            out[label] = (ctx.clock.now - t0) / 200
+        return out
+
+    r = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert r["advanced"] < r["direct"]

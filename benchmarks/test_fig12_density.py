@@ -1,0 +1,27 @@
+"""Figure 12: fluidanimate at maximum deployment density.
+
+Headline claims: under CPU-oversubscribed high load all surviving
+approaches converge to similar performance, and kvm-ept (NST) crashes
+(fails to connect to the RunD runtime) at 150 containers (§4.3).
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.bench.experiments import fig12
+
+
+def test_fig12_high_density(benchmark):
+    result = run_once(benchmark, fig12, density=(50, 150))
+    data = result.as_dict()
+    # kvm-ept (NST) fails at 150 containers.
+    assert math.isnan(data["kvm-ept (NST)"]["150"])
+    assert not math.isnan(data["kvm-ept (NST)"]["50"])
+    # Surviving approaches converge at 150 (within 2x of each other).
+    survivors = ["kvm-ept (BM)", "kvm-spt (BM)", "pvm (BM)", "pvm (NST)"]
+    at_150 = [data[s]["150"] for s in survivors]
+    assert max(at_150) < 2.0 * min(at_150)
+    # Oversubscription dominates: 150 containers slower than 50.
+    for s in survivors:
+        assert data[s]["150"] > data[s]["50"]

@@ -1,0 +1,22 @@
+"""Figure 13: CloudSuite analytics.
+
+Headline claims: PVM achieves performance close to bare-metal
+approaches and significantly outperforms kvm-ept (NST) on
+data-intensive workloads at low concurrency (§4.3).
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig13
+
+
+def test_fig13_cloudsuite(benchmark):
+    result = run_once(benchmark, fig13)
+    data = result.as_dict()
+    for wl in ("data analytics", "graph analytics", "in-memory analytics"):
+        # pvm (NST) within ~35% of bare-metal kvm-ept.
+        assert data["pvm (NST)"][wl] > 0.65, wl
+        # ... and clearly ahead of kvm-ept (NST).
+        assert data["pvm (NST)"][wl] > data["kvm-ept (NST)"][wl], wl
+    # The streaming (fault-heavy) workload is where nesting hurts most.
+    assert data["kvm-ept (NST)"]["data analytics"] < 0.6

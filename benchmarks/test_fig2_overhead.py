@@ -1,0 +1,24 @@
+"""Figure 2: overhead of nested virtualization (KVM vs KVM NST).
+
+Headline claims: syscall-path benchmarks see negligible nested overhead
+(no exits), while fork/exec/sh and the concurrent memory-intensive apps
+slow down substantially (§2.1).
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig2
+
+
+def test_fig2_nested_overhead(benchmark):
+    result = run_once(benchmark, fig2, scale=0.5)
+    data = result.as_dict()
+    # Syscall-bound rows: nested overhead under 25%.
+    for row in ("null call", "stat", "slct tcp", "sig inst", "sig hndl"):
+        assert data[row]["KVM (NST)"] < 1.25, row
+    # Page-table-heavy rows slow down measurably.
+    assert data["exec"]["KVM (NST)"] > 1.2
+    assert data["sh"]["KVM (NST)"] > 1.2
+    # Concurrent apps (16 containers) degrade clearly more than 2x.
+    assert data["kbuild"]["KVM (NST)"] > 2.0
+    assert data["specjbb"]["KVM (NST)"] > 2.0

@@ -1,0 +1,25 @@
+"""Figure 4: EPT vs SPT with/without nesting.
+
+Headline claims: EPT-on-EPT beats SPT-on-EPT everywhere; a considerable
+gap remains between EPT-on-EPT and single-level EPT, widening with
+concurrency (§2.2).
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig4
+
+
+def test_fig4_paging_approaches(benchmark):
+    result = run_once(benchmark, fig4, scale=0.5, procs=(1, 4, 16))
+    data = result.as_dict()
+    for col in ("1", "4", "16"):
+        # EPT-on-EPT significantly outperforms SPT-on-EPT in all cases.
+        assert data["EPT-EPT"][col] < data["SPT-EPT"][col]
+        # Single-level EPT is the best everywhere.
+        assert data["EPT"][col] < data["SPT"][col]
+        assert data["EPT"][col] < data["EPT-EPT"][col]
+    # The EPT vs EPT-EPT gap widens with concurrency.
+    gap_1 = data["EPT-EPT"]["1"] / data["EPT"]["1"]
+    gap_16 = data["EPT-EPT"]["16"] / data["EPT"]["16"]
+    assert gap_16 > 2 * gap_1

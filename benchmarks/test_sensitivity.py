@@ -1,0 +1,24 @@
+"""Sensitivity benches: how robust the headline results are to the
+cost-model calibration (not a paper artifact; a reproduction-quality
+check)."""
+
+from conftest import run_once
+
+from repro.bench.sweeps import pvm_switch_headroom, vmcs_merge_crossover
+from repro.hw.costs import DEFAULT_COSTS
+
+
+def test_vmcs_merge_sensitivity(benchmark):
+    r = run_once(benchmark, vmcs_merge_crossover)
+    # The EPT-on-EPT fault path never drops below PVM's even with free
+    # merges (the 2n+6-switch protocol itself is the floor).
+    assert r["crossover_merge_ns"] is None
+    floor = r["sweep"].points[0].metric
+    assert floor > r["pvm_fault_ns"]
+
+
+def test_pvm_switch_sensitivity(benchmark):
+    r = run_once(benchmark, pvm_switch_headroom)
+    # PVM's fault path tolerates a >4x slower switcher before matching
+    # hardware-assisted nesting.
+    assert r["headroom_switch_ns"] > 4 * DEFAULT_COSTS.pvm_world_switch

@@ -1,0 +1,26 @@
+"""§2.2's world-switch cost anchors, measured end to end.
+
+Headline claim: a PVM world switch (~0.18 us) is almost an order of
+magnitude cheaper than a nested L2<->L1 switch (~1.3 us) and close to a
+single-level hardware switch (~0.105 us).
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import switchcost
+
+
+def test_switch_cost_anchors(benchmark):
+    result = run_once(benchmark, switchcost, scale=0.5)
+    data = result.as_dict()
+    for row in ("single-level hw switch", "nested L2->L1 switch", "pvm switch"):
+        measured = data[row]["measured"]
+        paper = data[row]["paper"]
+        assert abs(measured - paper) / paper < 0.10, row
+    # Order-of-magnitude claim.
+    assert data["nested L2->L1 switch"]["measured"] > (
+        6 * data["pvm switch"]["measured"]
+    )
+    assert data["pvm switch"]["measured"] < (
+        2 * data["single-level hw switch"]["measured"]
+    )

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Ablation study: what each PVM optimization is worth.
+
+Reproduces the design-space exploration behind Figure 10 by toggling
+PVM's three shadow-paging optimizations (and the direct switch) one at
+a time on the alloc/release/touch micro-benchmark, at 1 and 16
+concurrent processes.
+
+Run:  python examples/ablation_study.py
+"""
+
+from repro import make_machine
+from repro.hypervisors.base import MachineConfig
+from repro.workloads.memalloc import memalloc
+from repro.workloads.ops import run_concurrent
+from repro.hw.types import MIB
+
+
+VARIANTS = [
+    ("full PVM", {}),
+    ("- prefault", {"prefault": False}),
+    ("- PCID mapping", {"pcid_mapping": False}),
+    ("- fine-grained locks", {"fine_grained_locks": False}),
+    ("- direct switch", {"direct_switch": False}),
+    ("- everything", {
+        "prefault": False, "pcid_mapping": False,
+        "fine_grained_locks": False, "direct_switch": False,
+    }),
+]
+
+
+def measure(overrides: dict, n: int) -> float:
+    machine = make_machine("pvm (NST)", config=MachineConfig(**overrides))
+    result = run_concurrent([machine] * n, memalloc, total_bytes=2 * MIB)
+    return result.makespan_ns / 1e6
+
+
+def main() -> None:
+    print(f"{'variant':24s} {'1 proc (ms)':>12s} {'16 procs (ms)':>14s} "
+          f"{'scaling':>8s}")
+    base_1 = base_16 = None
+    for label, overrides in VARIANTS:
+        t1 = measure(overrides, 1)
+        t16 = measure(overrides, 16)
+        if base_1 is None:
+            base_1, base_16 = t1, t16
+        print(f"{label:24s} {t1:12.2f} {t16:14.2f} {t16 / t1:7.1f}x"
+              f"   (+{(t16 / base_16 - 1) * 100:5.1f}% vs full @16)")
+
+    print()
+    print("Reading: fine-grained locking is the scalability lever (its")
+    print("removal serializes all 16 processes on mmu_lock); prefault and")
+    print("PCID mapping are constant-factor wins, exactly as §4.1 reports.")
+
+
+if __name__ == "__main__":
+    main()

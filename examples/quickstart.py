@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: deploy a secure container under PVM and watch the machinery.
+
+This walks the library's core loop end to end:
+
+1. create a deployment scenario (``pvm (NST)`` — PVM inside a cloud VM),
+2. boot a guest process, mmap memory, and demand-fault pages,
+3. inspect the world-switch/exit accounting that the paper's entire
+   evaluation is built on,
+4. compare the same actions under hardware-assisted nesting.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import make_machine
+from repro.hw.events import diff_snapshots
+from repro.hw.types import MIB
+
+
+def demo(scenario: str) -> None:
+    print(f"=== {scenario} " + "=" * (50 - len(scenario)))
+    machine = make_machine(scenario)
+    ctx = machine.new_context()          # one vCPU
+    proc = machine.spawn_process()       # the container's init process
+
+    # Anonymous memory is mapped lazily; touching it demand-faults.
+    vma = machine.mmap(ctx, proc, 1 * MIB)
+    print(f"mmap'd 1 MiB at vpn {vma.start_vpn:#x} ({vma.npages} pages)")
+
+    before = machine.events.snapshot()
+    t0 = ctx.clock.now
+    for vpn in range(vma.start_vpn, vma.start_vpn + 16):
+        machine.touch(ctx, proc, vpn, write=True)
+    elapsed = ctx.clock.now - t0
+    delta = diff_snapshots(before, machine.events.snapshot())
+
+    print(f"16 first-touch faults took {elapsed / 1000:.2f} virtual us")
+    print(f"  world switches : {delta.get('world_switches', {})}")
+    print(f"  exits to L0    : {delta.get('l0_exits', {}).get('total', 0)}")
+    print(f"  guest faults   : {delta.get('page_faults', {}).get('total', 0)}")
+
+    # Syscalls: PVM's direct switch vs guest-internal hardware syscalls.
+    t0 = ctx.clock.now
+    for _ in range(100):
+        machine.syscall(ctx, proc, "get_pid")
+    print(f"get_pid mean   : {(ctx.clock.now - t0) / 100 / 1000:.2f} us")
+    print()
+
+
+def main() -> None:
+    # The paper's headline comparison: PVM vs hardware-assisted nesting.
+    demo("pvm (NST)")
+    demo("kvm-ept (NST)")
+
+    print("Takeaway: PVM handles every L2 page fault inside the L1")
+    print("hypervisor (zero exits to L0), while EPT-on-EPT pays n+3 L0")
+    print("exits per fault — the factor the evaluation quantifies.")
+
+
+if __name__ == "__main__":
+    main()

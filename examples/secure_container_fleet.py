@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Fleet deployment: run a serverless-style fleet of secure containers.
+
+Models the paper's production use case (§4.4): many short-lived secure
+containers on one host, launched by a RunD-like runtime.  Shows
+
+* fleet launch + per-container workloads over a shared host,
+* how kvm-ept (NST) collapses with density while pvm (NST) scales,
+* the runtime-capacity failure the paper hit at 150 containers.
+
+Run:  python examples/secure_container_fleet.py
+"""
+
+from repro.containers.runtime import RunDRuntime, RundError
+from repro.workloads.apps import blogbench
+
+
+def run_density(scenario: str, density: int) -> str:
+    runtime = RunDRuntime(scenario)
+    try:
+        result = runtime.run_fleet(density, blogbench, rounds=20)
+    except RundError as exc:
+        return f"CRASH ({exc})"
+    mean_s = result.mean_completion_s
+    l0 = result.counters.get("l0_exits", {}).get("total", 0)
+    return f"{mean_s * 1000:8.1f} ms/container   {l0:>8} L0 exits"
+
+
+def main() -> None:
+    densities = [1, 8, 32, 140]
+    print(f"{'scenario':16s} {'density':>8s}   result")
+    for scenario in ("pvm (NST)", "kvm-ept (NST)"):
+        for density in densities:
+            print(f"{scenario:16s} {density:>8d}   {run_density(scenario, density)}")
+        print()
+
+    print("pvm (NST) stays flat because page faults, syscalls, and HLT")
+    print("never leave the L1 hypervisor; kvm-ept (NST) funnels every")
+    print("container's exits through the host's serialized root-mode")
+    print("service, and its runtime refuses connections past capacity.")
+
+
+if __name__ == "__main__":
+    main()

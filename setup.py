@@ -1,0 +1,15 @@
+"""Legacy setup shim so `python setup.py develop` works in offline
+environments that lack the `wheel` package.
+
+Mirrors pyproject.toml's entry points (legacy installs do not read
+``[project.scripts]``)."""
+
+from setuptools import setup
+
+setup(
+    entry_points={
+        "console_scripts": [
+            "pvm-bench = repro.bench.cli:main",
+        ],
+    },
+)

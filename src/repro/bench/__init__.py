@@ -1,0 +1,13 @@
+"""Experiment harness: one entry point per table and figure.
+
+:mod:`repro.bench.experiments` regenerates every artifact of the
+paper's evaluation (§2 and §4); :mod:`repro.bench.report` renders them
+in the paper's row/series layout; :mod:`repro.bench.cli` exposes the
+``pvm-bench`` command.  ``pytest benchmarks/`` wraps each experiment in
+a pytest-benchmark target.
+"""
+
+from repro.bench.harness import ExperimentResult, SCENARIOS_BM, SCENARIOS_NST
+from repro.bench import experiments
+
+__all__ = ["ExperimentResult", "SCENARIOS_BM", "SCENARIOS_NST", "experiments"]

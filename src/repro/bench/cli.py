@@ -1,0 +1,82 @@
+"""``pvm-bench``: regenerate the paper's tables and figures.
+
+Examples::
+
+    pvm-bench --list
+    pvm-bench table1 table2
+    pvm-bench fig10 --scale 2.0
+    pvm-bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.report import render, render_chart
+
+
+def main(argv: List[str] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="pvm-bench",
+        description="Regenerate the PVM paper's tables and figures "
+                    "on the simulation substrate.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help="experiment ids (table1, table2, fig2, fig4, fig10, table3, "
+             "table4, fig11, fig12, fig13) or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload scale factor (1.0 = quick default)",
+    )
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="render figures as ASCII bar charts instead of tables",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit machine-readable JSON instead of tables",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for exp_id, fn in ALL_EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{exp_id:8s} {doc}")
+        return 0
+
+    wanted = list(ALL_EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = [e for e in wanted if e not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        return 2
+    json_out = {}
+    for exp_id in wanted:
+        t0 = time.time()
+        result = ALL_EXPERIMENTS[exp_id](scale=args.scale)
+        if args.as_json:
+            json_out[exp_id] = {
+                "title": result.title,
+                "unit": result.unit,
+                "notes": result.notes,
+                "data": result.as_dict(),
+                "wall_seconds": round(time.time() - t0, 2),
+            }
+            continue
+        print(render_chart(result) if args.chart else render(result))
+        print(f"   [{time.time() - t0:.1f}s wall]\n")
+    if args.as_json:
+        print(json.dumps(json_out, indent=2, default=str))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

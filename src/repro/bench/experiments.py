@@ -1,0 +1,466 @@
+"""Regeneration of every table and figure in the paper.
+
+Each function returns an :class:`~repro.bench.harness.ExperimentResult`
+whose rows/columns mirror the paper's layout.  Absolute values are
+simulated nanoseconds (or derived units); the claims to check are the
+*shapes*: who wins, by what factor, where crossovers fall.  See
+EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro import make_machine
+from repro.bench.harness import (
+    HOST_CORES,
+    SCENARIOS_EVAL,
+    ExperimentResult,
+    measure_concurrent_op_ns,
+    scaled_iterations,
+)
+from repro.containers.runtime import KVM_NST_CAPACITY, RunDRuntime, RuntimeError_
+from repro.hw.types import MIB
+from repro.hypervisors.base import MachineConfig
+from repro.workloads import cloudsuite as cs
+from repro.workloads import lmbench
+from repro.workloads.apps import APPS
+from repro.workloads.memalloc import memalloc
+from repro.workloads.ops import run_concurrent
+
+
+# ---------------------------------------------------------------------------
+# Micro-benchmarks (§4.1)
+# ---------------------------------------------------------------------------
+
+def table1(scale: float = 1.0) -> ExperimentResult:
+    """Table 1: VM exit/entry round-trip latency (us), KPTI on/off."""
+    ops = ["Hypercall", "Exception", "MSR access", "CPUID", "PIO"]
+    methods = {
+        "Hypercall": "hypercall", "Exception": "exception",
+        "MSR access": "msr_access", "CPUID": "cpuid", "PIO": "pio",
+    }
+    configs = ["kvm (BM)", "pvm (BM)", "kvm (NST)", "pvm (NST)"]
+    scen = {
+        "kvm (BM)": "kvm-ept (BM)", "pvm (BM)": "pvm (BM)",
+        "kvm (NST)": "kvm-ept (NST)", "pvm (NST)": "pvm (NST)",
+    }
+    iters = scaled_iterations(500, scale)
+    result = ExperimentResult(
+        exp_id="table1",
+        title="Average round-trip latency (us) of VM exits/entries, "
+              "KPTI enabled/disabled",
+        columns=[f"{c} ({k})" for c in configs for k in ("kpti", "nokpti")],
+        unit="us",
+    )
+    for op in ops:
+        values = []
+        for config in configs:
+            for kpti in (True, False):
+                m = make_machine(scen[config], config=MachineConfig(kpti=kpti))
+                ctx = m.new_context()
+                start = ctx.clock.now
+                for _ in range(iters):
+                    getattr(m, methods[op])(ctx)
+                values.append((ctx.clock.now - start) / iters / 1000)
+        result.add(op, values)
+    return result
+
+
+def table2(scale: float = 1.0) -> ExperimentResult:
+    """Table 2: get_pid syscall time (us) with/without direct switch."""
+    iters = scaled_iterations(500, scale)
+    result = ExperimentResult(
+        exp_id="table2",
+        title="Execution time (us) of syscall get_pid, KPTI on/off",
+        columns=["kpti", "nokpti"],
+        unit="us",
+    )
+    rows = [
+        ("kvm-ept (BM)", "kvm-ept (BM)", {}),
+        ("kvm-spt (BM)", "kvm-spt (BM)", {}),
+        ("pvm (BM) none", "pvm (BM)", {"direct_switch": False}),
+        ("pvm (BM) direct-switch", "pvm (BM)", {"direct_switch": True}),
+        ("kvm (NST)", "kvm-ept (NST)", {}),
+        ("pvm (NST) none", "pvm (NST)", {"direct_switch": False}),
+        ("pvm (NST) direct-switch", "pvm (NST)", {"direct_switch": True}),
+    ]
+    for label, scenario, overrides in rows:
+        values = []
+        for kpti in (True, False):
+            m = make_machine(
+                scenario, config=MachineConfig(kpti=kpti, **overrides)
+            )
+            ctx = m.new_context()
+            proc = m.spawn_process()
+            start = ctx.clock.now
+            for _ in range(iters):
+                m.syscall(ctx, proc, "get_pid")
+            values.append((ctx.clock.now - start) / iters / 1000)
+        result.add(label, values)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Motivation experiments (§2)
+# ---------------------------------------------------------------------------
+
+#: Fig 2's LMbench subset (single container each).
+_FIG2_LMBENCH = [
+    ("null call", "null I/O"),
+    ("stat", "stat"),
+    ("open/close", "open/close"),
+    ("slct tcp", "slct TCP"),
+    ("sig inst", "sig inst"),
+    ("sig hndl", "sig hndl"),
+    ("fork", "fork proc"),
+    ("exec", "exec proc"),
+    ("sh", "sh proc"),
+]
+
+
+def fig2(scale: float = 1.0) -> ExperimentResult:
+    """Figure 2: overhead of nested virtualization (KVM vs KVM NST),
+    normalized to single-level KVM."""
+    result = ExperimentResult(
+        exp_id="fig2",
+        title="Overhead analysis of nested virtualization "
+              "(normalized exec time; KVM = 1.0)",
+        columns=["KVM", "KVM (NST)"],
+        unit="x",
+    )
+    for label, bench in _FIG2_LMBENCH:
+        factory = lmbench.PROCESS_SUITE[bench]
+        base = measure_concurrent_op_ns("kvm-ept (BM)", factory, n=1)
+        nst = measure_concurrent_op_ns("kvm-ept (NST)", factory, n=1)
+        result.add(label, [1.0, nst / base if base else 0.0])
+    # kbuild and specjbb each ran in 16 containers (§2.1).
+    for label, app, metric in [
+        ("kbuild", "kbuild", "time"),
+        ("specjbb", "specjbb2005", "time"),
+    ]:
+        base = RunDRuntime("kvm-ept (BM)").run_fleet(
+            16, APPS[app]
+        ).mean_completion_ns
+        nst = RunDRuntime("kvm-ept (NST)").run_fleet(
+            16, APPS[app]
+        ).mean_completion_ns
+        result.add(label, [1.0, nst / base if base else 0.0])
+    return result
+
+
+def fig4(scale: float = 1.0,
+         procs: Sequence[int] = (1, 4, 16)) -> ExperimentResult:
+    """Figure 4: EPT vs SPT vs EPT-EPT vs SPT-EPT, cumulative-allocation
+    micro-benchmark, 1..16 processes in one guest."""
+    total = int(4 * MIB * scale)
+    extrapolate = (4096 * MIB) / total
+    result = ExperimentResult(
+        exp_id="fig4",
+        title="Execution time (s) of the cumulative alloc/touch "
+              "micro-benchmark (no release)",
+        columns=[str(p) for p in procs],
+        unit="s (extrapolated to the paper's 4 GiB working set)",
+        notes=f"measured at {total >> 20} MiB/process, reported x"
+              f"{extrapolate:.0f} (virtual time is linear in fault count)",
+    )
+    rows = [
+        ("EPT", "kvm-ept (BM)"),
+        ("SPT", "kvm-spt (BM)"),
+        ("EPT-EPT", "kvm-ept (NST)"),
+        ("SPT-EPT", "kvm-spt (NST)"),
+    ]
+    for label, scenario in rows:
+        values = []
+        for n in procs:
+            machine = make_machine(scenario)
+            r = run_concurrent(
+                [machine] * n, memalloc, total_bytes=total, release=False
+            )
+            values.append(r.makespan_ns / 1e9 * extrapolate)
+        result.add(label, values)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Page-fault handling (§4.1, Figure 10)
+# ---------------------------------------------------------------------------
+
+#: Figure 10 variant set: full PVM plus one-optimization-removed runs.
+FIG10_VARIANTS = [
+    ("kvm-ept (BM)", "kvm-ept (BM)", {}),
+    ("kvm-spt (BM)", "kvm-spt (BM)", {}),
+    ("pvm (BM)", "pvm (BM)", {}),
+    ("kvm-ept (NST)", "kvm-ept (NST)", {}),
+    ("pvm (NST)", "pvm (NST)", {}),
+    ("pvm (NST-prefault)", "pvm (NST)", {"prefault": False}),
+    ("pvm (NST-pcid)", "pvm (NST)", {"pcid_mapping": False}),
+    ("pvm (NST-lock)", "pvm (NST)", {"fine_grained_locks": False}),
+]
+
+
+def fig10(scale: float = 1.0,
+          procs: Sequence[int] = (1, 2, 4, 8, 16, 32)) -> ExperimentResult:
+    """Figure 10: guest page-fault handling, alloc/release variant,
+    1..32 processes, including the optimization ablations."""
+    total = int(2 * MIB * scale)
+    extrapolate = (4096 * MIB) / total
+    result = ExperimentResult(
+        exp_id="fig10",
+        title="Execution time (s) of the alloc/release/touch "
+              "micro-benchmark (guest page-fault handling)",
+        columns=[str(p) for p in procs],
+        unit="s (extrapolated to the paper's 4 GiB working set)",
+        notes=f"measured at {total >> 20} MiB/process, reported x"
+              f"{extrapolate:.0f}. pvm (NST-x) disables optimization x.",
+    )
+    for label, scenario, overrides in FIG10_VARIANTS:
+        values = []
+        for n in procs:
+            machine = make_machine(
+                scenario, config=MachineConfig(**overrides)
+            )
+            r = run_concurrent(
+                [machine] * n, memalloc, total_bytes=total, release=True
+            )
+            values.append(r.makespan_ns / 1e9 * extrapolate)
+        result.add(label, values)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# LMbench suites (§4.2, Tables 3 and 4)
+# ---------------------------------------------------------------------------
+
+def table3(scale: float = 1.0,
+           concurrency: Sequence[int] = (1, 32)) -> ExperimentResult:
+    """Table 3: LMbench process suite (us), 1 and 32 processes."""
+    result = ExperimentResult(
+        exp_id="table3",
+        title="LMbench: processes — time in us (smaller is better)",
+        columns=[
+            f"{bench} #{n}"
+            for bench in lmbench.PROCESS_SUITE
+            for n in concurrency
+        ],
+        unit="us",
+    )
+    for scenario in SCENARIOS_EVAL:
+        values = []
+        for bench, factory in lmbench.PROCESS_SUITE.items():
+            for n in concurrency:
+                ns = measure_concurrent_op_ns(scenario, factory, n=n)
+                values.append(ns / 1000)
+        result.add(scenario, values)
+    return result
+
+
+def table4(scale: float = 1.0) -> ExperimentResult:
+    """Table 4: file & VM system latencies (us)."""
+    result = ExperimentResult(
+        exp_id="table4",
+        title="File & VM system latencies in us (smaller is better)",
+        columns=list(lmbench.FILE_VM_SUITE),
+        unit="us",
+    )
+    per_page_rows = {"Mmap", "Page Fault"}
+    for scenario in SCENARIOS_EVAL:
+        values = []
+        for bench, factory in lmbench.FILE_VM_SUITE.items():
+            m = make_machine(scenario)
+            ns = lmbench.measure_mean_op_ns(
+                m, factory, per_page=bench in per_page_rows
+            )
+            values.append(ns / 1000)
+        result.add(scenario, values)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Real applications (§4.3, Figures 11-13)
+# ---------------------------------------------------------------------------
+
+def fig11(scale: float = 1.0,
+          concurrency: Sequence[int] = (1, 4, 16),
+          apps: Optional[Sequence[str]] = None) -> ExperimentResult:
+    """Figure 11: four applications x five scenarios x concurrency.
+
+    kbuild/fluidanimate report seconds (lower better); blogbench and
+    specjbb2005 report rate scores (higher better).
+    """
+    apps = list(apps or APPS)
+    result = ExperimentResult(
+        exp_id="fig11",
+        title="Real-world applications under concurrency "
+              "(kbuild/fluidanimate: s, lower better; "
+              "blogbench/specjbb2005: score, higher better)",
+        columns=[f"{app} @{n}" for app in apps for n in concurrency],
+    )
+    throughput_apps = {"blogbench", "specjbb2005"}
+    for scenario in SCENARIOS_EVAL:
+        values = []
+        for app in apps:
+            for n in concurrency:
+                r = RunDRuntime(scenario).run_fleet(n, APPS[app])
+                seconds = r.mean_completion_s
+                if app in throughput_apps:
+                    # Rate score: work units per second (scaled).
+                    values.append(1000.0 / seconds if seconds else 0.0)
+                else:
+                    values.append(seconds)
+        result.add(scenario, values)
+    return result
+
+
+def fig12(scale: float = 1.0,
+          density: Sequence[int] = (50, 100, 150),
+          frames: int = 24) -> ExperimentResult:
+    """Figure 12: fluidanimate at high container density.
+
+    Hosts are CPU-oversubscribed past HOST_CORES containers, so all
+    surviving approaches converge; kvm-ept (NST) fails to launch past
+    the runtime's nested capacity (the paper's crash at 150).
+    """
+    result = ExperimentResult(
+        exp_id="fig12",
+        title="fluidanimate under high load (average exec time, s); "
+              "NaN marks the kvm-ept (NST) runtime-connection failure",
+        columns=[str(d) for d in density],
+        unit="s",
+        notes=f"host capacity {HOST_CORES} hardware threads; "
+              f"kvm-ept NST capacity {KVM_NST_CAPACITY} containers",
+    )
+    from repro.sim.cpupool import CpuPool
+
+    for scenario in SCENARIOS_EVAL:
+        values = []
+        for n in density:
+            runtime = RunDRuntime(scenario)
+            try:
+                r = runtime.run_fleet(
+                    n, APPS["fluidanimate"], frames=frames,
+                    cpu_pool=CpuPool(HOST_CORES),
+                )
+            except RuntimeError_:
+                values.append(float("nan"))
+                continue
+            values.append(r.mean_completion_s)
+        result.add(scenario, values)
+    return result
+
+
+def fig13(scale: float = 1.0) -> ExperimentResult:
+    """Figure 13: CloudSuite analytics, normalized to kvm-ept (BM)
+    (higher is better)."""
+    result = ExperimentResult(
+        exp_id="fig13",
+        title="Cloud benchmarks: performance normalized to kvm-ept (BM)",
+        columns=list(cs.CLOUDSUITE),
+        unit="x",
+    )
+    base: Dict[str, float] = {}
+    for scenario in SCENARIOS_EVAL:
+        values = []
+        for name, factory in cs.CLOUDSUITE.items():
+            machine = make_machine(scenario)
+            r = run_concurrent([machine], factory)
+            seconds = r.makespan_ns / 1e9
+            if scenario == "kvm-ept (BM)":
+                base[name] = seconds
+            values.append(base[name] / seconds if seconds else 0.0)
+        result.add(scenario, values)
+    return result
+
+
+def switchcost(scale: float = 1.0) -> ExperimentResult:
+    """§2.2's world-switch cost measurements (not a numbered figure):
+
+    * single-level hardware switch: 0.105 us,
+    * nested L2->L1 switch (via L0): 1.3 us,
+    * PVM software switch in the switcher: 0.179 us.
+
+    Measured by timing the one-way legs of each machine's exit
+    machinery over many iterations.
+    """
+    from repro.core.switcher import GuestWorld
+
+    iters = scaled_iterations(1000, scale)
+    result = ExperimentResult(
+        exp_id="switchcost",
+        title="World-switch cost (us, one direction) — §2.2 measurements",
+        columns=["measured", "paper"],
+        unit="us",
+    )
+    # Single-level: half a hardware hypercall round trip minus handler.
+    m = make_machine("kvm-ept (BM)")
+    ctx = m.new_context()
+    t0 = ctx.clock.now
+    for _ in range(iters):
+        m.hypercall(ctx)
+    hw = ((ctx.clock.now - t0) / iters - m.costs.hypercall_handler) / 2
+    result.add("single-level hw switch", [hw / 1000, 0.105])
+    # Nested: an L2->L1 delivery leg (exit + forward + entry).
+    m = make_machine("kvm-ept (NST)")
+    ctx = m.new_context()
+    t0 = ctx.clock.now
+    for _ in range(iters):
+        m.l2_exit_to_l1(ctx, "probe")
+    result.add("nested L2->L1 switch",
+               [(ctx.clock.now - t0) / iters / 1000, 1.3])
+    # PVM: one switcher leg.
+    m = make_machine("pvm (NST)")
+    ctx = m.new_context()
+    t0 = ctx.clock.now
+    for _ in range(iters):
+        m.hv.switcher.vm_exit(ctx.clock, ctx.cpu_id, "probe")
+        m.hv.switcher.vm_enter(ctx.clock, ctx.cpu_id, GuestWorld.USER)
+    result.add("pvm switch", [(ctx.clock.now - t0) / iters / 2 / 1000, 0.179])
+    return result
+
+
+def bootstorm(scale: float = 1.0,
+              densities: Sequence[int] = (1, 50, 100)) -> ExperimentResult:
+    """Boot storm (§4.4): p50/p100 container-start latency when N secure
+    containers launch concurrently.
+
+    PVM creates L2 guests entirely inside L1; hardware-assisted nesting
+    serializes per-guest VMCS02/shadow-EPT setup on the host.
+    """
+    result = ExperimentResult(
+        exp_id="bootstorm",
+        title="Concurrent container-start latency (ms): median / worst",
+        columns=[f"p50 @{d}" for d in densities] + [f"max @{d}" for d in densities],
+        unit="ms",
+    )
+    for scenario in ("pvm (NST)", "kvm-ept (NST)"):
+        p50s, maxs = [], []
+        for n in densities:
+            runtime = RunDRuntime(scenario)
+            try:
+                fleet = runtime.launch_fleet(n)
+            except RuntimeError_:
+                p50s.append(float("nan"))
+                maxs.append(float("nan"))
+                continue
+            boots = sorted(c.ctx.clock.now / 1e6 for c in fleet)
+            p50s.append(boots[len(boots) // 2])
+            maxs.append(boots[-1])
+        result.add(scenario, p50s + maxs)
+    return result
+
+
+#: Experiment registry for the CLI and the benchmark suite.
+ALL_EXPERIMENTS = {
+    "switchcost": switchcost,
+    "bootstorm": bootstorm,
+    "table1": table1,
+    "table2": table2,
+    "fig2": fig2,
+    "fig4": fig4,
+    "fig10": fig10,
+    "table3": table3,
+    "table4": table4,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+}

@@ -1,0 +1,82 @@
+"""Rendering of experiment results in the paper's layout."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+from repro.bench.harness import ExperimentResult
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and math.isnan(value):
+        return "crash"
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000:
+        return f"{value / 1000:.1f}k"
+    if abs(value) >= 100:
+        return f"{value:.1f}"
+    return f"{value:.2f}"
+
+
+def render(result: ExperimentResult, max_width: int = 14) -> str:
+    """ASCII table mirroring the paper's rows/columns."""
+    label_w = max(
+        [len("config")] + [len(label) for label, _ in result.rows]
+    )
+    col_w = max([8] + [min(max_width, len(c)) for c in result.columns])
+    lines: List[str] = []
+    lines.append(f"== {result.exp_id}: {result.title}")
+    if result.unit:
+        lines.append(f"   (unit: {result.unit})")
+    if result.notes:
+        lines.append(f"   note: {result.notes}")
+    header = "config".ljust(label_w) + " | " + " ".join(
+        c[:max_width].rjust(col_w) for c in result.columns
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, values in result.rows:
+        row = label.ljust(label_w) + " | " + " ".join(
+            _fmt(v).rjust(col_w) for v in values
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_all(results: Iterable[ExperimentResult]) -> str:
+    """Render several results separated by blank lines."""
+    return "\n\n".join(render(r) for r in results)
+
+
+def render_chart(result: ExperimentResult, width: int = 48) -> str:
+    """ASCII bar chart of an experiment, one group per column.
+
+    Rows become bars within each column group, scaled to the largest
+    finite value in the result — a terminal rendition of the paper's
+    grouped-bar figures.
+    """
+    finite = [
+        v for _, values in result.rows for v in values
+        if not (isinstance(v, float) and math.isnan(v))
+    ]
+    peak = max(finite) if finite else 1.0
+    if peak <= 0:
+        peak = 1.0
+    label_w = max([len("config")] + [len(label) for label, _ in result.rows])
+    lines: List[str] = [f"== {result.exp_id}: {result.title}"]
+    if result.unit:
+        lines.append(f"   (unit: {result.unit}; bar scale: {_fmt(peak)})")
+    for col_idx, column in enumerate(result.columns):
+        lines.append(f"-- {column}")
+        for label, values in result.rows:
+            v = values[col_idx]
+            if isinstance(v, float) and math.isnan(v):
+                bar, shown = "x (crash)", "crash"
+            else:
+                n = int(round((v / peak) * width))
+                bar = "#" * max(n, 1 if v > 0 else 0)
+                shown = _fmt(v)
+            lines.append(f"{label.ljust(label_w)} |{bar} {shown}")
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Sensitivity sweeps over the cost model.
+
+The reproduction's conclusions rest on calibrated constants; these
+sweeps quantify how robust each headline is to calibration error by
+re-running a metric across a range of one constant — e.g.: *how cheap
+would nested VMCS merging have to get before EPT-on-EPT matches
+PVM-on-EPT on the fault path?*  The answer (a crossover point far below
+anything hardware-assisted nesting achieves) is itself a reproduction
+artifact: the paper's conclusion does not hinge on the exact 5.6 µs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro import make_machine
+from repro.hw.costs import DEFAULT_COSTS, CostModel
+from repro.hw.types import MIB
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (swept value, measured metric) sample."""
+    value: int
+    metric: float
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full sweep over one cost constant."""
+    cost_attr: str
+    metric_name: str
+    points: Tuple[SweepPoint, ...]
+
+    def crossover(self, threshold: float) -> Optional[float]:
+        """First swept value at which the metric crosses ``threshold``
+        (linear interpolation between neighbouring points)."""
+        prev = None
+        for p in self.points:
+            if prev is not None:
+                lo, hi = prev, p
+                if (lo.metric - threshold) * (hi.metric - threshold) <= 0:
+                    if hi.metric == lo.metric:
+                        return float(lo.value)
+                    frac = (threshold - lo.metric) / (hi.metric - lo.metric)
+                    return lo.value + frac * (hi.value - lo.value)
+            prev = p
+        return None
+
+
+def fault_latency_ns(scenario: str, costs: CostModel) -> float:
+    """Mean steady-state L2 fault service time under ``costs``."""
+    machine = make_machine(scenario, costs=costs)
+    ctx = machine.new_context()
+    proc = machine.spawn_process()
+    vma = machine.mmap(ctx, proc, 1 * MIB)
+    machine.touch(ctx, proc, vma.start_vpn, write=True)  # warm the tables
+    start = ctx.clock.now
+    n = 64
+    for vpn in range(vma.start_vpn + 1, vma.start_vpn + 1 + n):
+        machine.touch(ctx, proc, vpn, write=True)
+    return (ctx.clock.now - start) / n
+
+
+def sweep(
+    cost_attr: str,
+    values: Sequence[int],
+    metric: Callable[[CostModel], float],
+    metric_name: str = "metric",
+    base: CostModel = DEFAULT_COSTS,
+) -> SweepResult:
+    """Evaluate ``metric`` across overrides of one cost constant."""
+    if not hasattr(base, cost_attr):
+        raise AttributeError(f"unknown cost constant {cost_attr!r}")
+    points = []
+    for value in values:
+        costs = base.with_overrides(**{cost_attr: value})
+        points.append(SweepPoint(value=value, metric=metric(costs)))
+    return SweepResult(cost_attr=cost_attr, metric_name=metric_name,
+                       points=tuple(points))
+
+
+def vmcs_merge_crossover(
+    values: Sequence[int] = (0, 250, 500, 1000, 2000, 4000, 5600),
+) -> Dict[str, object]:
+    """How cheap must L0's VMCS merge/reload become before EPT-on-EPT's
+    fault path matches PVM-on-EPT's?
+
+    Returns the sweep plus the crossover merge cost.  PVM's fault
+    latency does not depend on this constant (no L0 involvement), so the
+    threshold is a horizontal line.
+    """
+    pvm = fault_latency_ns("pvm (NST)", DEFAULT_COSTS)
+    result = sweep(
+        "vmcs_merge_reload", values,
+        metric=lambda costs: fault_latency_ns("kvm-ept (NST)", costs),
+        metric_name="kvm-ept (NST) fault ns",
+    )
+    return {
+        "sweep": result,
+        "pvm_fault_ns": pvm,
+        "crossover_merge_ns": result.crossover(pvm),
+    }
+
+
+def pvm_switch_headroom(
+    values: Sequence[int] = (179, 400, 800, 1200, 1600, 2400),
+) -> Dict[str, object]:
+    """How slow could PVM's software world switch get before its fault
+    path loses to hardware-assisted nesting at default costs?"""
+    kvm = fault_latency_ns("kvm-ept (NST)", DEFAULT_COSTS)
+    result = sweep(
+        "pvm_world_switch", values,
+        metric=lambda costs: fault_latency_ns("pvm (NST)", costs),
+        metric_name="pvm (NST) fault ns",
+    )
+    return {
+        "sweep": result,
+        "kvm_fault_ns": kvm,
+        "headroom_switch_ns": result.crossover(kvm),
+    }

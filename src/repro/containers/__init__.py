@@ -1,0 +1,14 @@
+"""Secure-container runtime (RunD-like).
+
+Secure containers deploy regular containers inside lightweight VMs
+(Kata-style).  :class:`~repro.containers.runtime.RunDRuntime` manages a
+fleet of them over one physical host: each container gets its own guest
+machine (its own L2 VM), while the host's root-mode service — the L0
+lock — is shared across the fleet, which is exactly how the paper's
+concurrency bottlenecks arise.
+"""
+
+from repro.containers.container import SecureContainer
+from repro.containers.runtime import RunDRuntime, RuntimeError_ as RundError
+
+__all__ = ["SecureContainer", "RunDRuntime", "RundError"]

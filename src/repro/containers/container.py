@@ -1,0 +1,49 @@
+"""One secure container: a lightweight VM plus its init process."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.guest.process import Process
+from repro.hypervisors.base import CpuCtx, Machine
+
+
+@dataclass
+class SecureContainer:
+    """A container deployed in its own guest VM.
+
+    Created by :class:`~repro.containers.runtime.RunDRuntime`; holds the
+    guest machine, a vCPU context, and the container's init process.
+    """
+
+    container_id: str
+    machine: Machine
+    ctx: CpuCtx
+    init: Process
+    boot_ns: int = 0
+    state: str = "running"  # running | stopped
+
+    def run(self, workload_factory, **params) -> Generator[None, None, None]:
+        """Bind a workload to this container's vCPU and init process."""
+        if self.state != "running":
+            raise RuntimeError(f"container {self.container_id} is {self.state}")
+        return workload_factory(self.machine, self.ctx, self.init, **params)
+
+    def stop(self) -> None:
+        """Stop the container (idempotent)."""
+        if self.state == "running":
+            if self.init.alive:
+                self.machine.exit(self.ctx, self.init)
+            self.state = "stopped"
+
+    @property
+    def virtual_time_ns(self) -> int:
+        """The container vCPU's current virtual time."""
+        return self.ctx.clock.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SecureContainer {self.container_id} on {self.machine.name} "
+            f"({self.state})>"
+        )

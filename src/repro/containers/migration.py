@@ -1,0 +1,106 @@
+"""Live migration / save / restore of the L1 VM (§2.3).
+
+One of the paper's deployment arguments: with hardware-assisted nested
+virtualization, "once an L2 guest is running, L1 can no longer be
+migrated, saved, or loaded" — the L0 hypervisor holds live shadow state
+(VMCS02, shadow EPT02) for the nested guests that cannot be serialized
+through the normal VM lifecycle.  PVM pins nothing in L0: its L1 VM
+looks exactly like any other VM, so cluster management keeps working.
+
+The manager models pre-copy migration: iterative dirty-page copy, then
+a stop-and-copy downtime window proportional to the residual set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.hypervisors.base import Machine
+
+
+#: Per-page copy time over the migration link (~10 GbE with overheads).
+PAGE_COPY_NS = 3_500
+#: Fixed stop-and-copy overhead (device state, final sync).
+DOWNTIME_BASE_NS = 40_000_000  # 40 ms
+#: Fraction of mapped pages still dirty at stop-and-copy.
+RESIDUAL_DIRTY = 0.05
+
+
+class MigrationBlockedError(Exception):
+    """The L1 VM cannot be migrated in its current configuration."""
+
+
+class NotMigratableError(Exception):
+    """The deployment has no L1 VM to migrate (bare-metal scenarios)."""
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """Outcome of one successful L1 migration."""
+
+    pages_copied: int
+    precopy_ns: int
+    downtime_ns: int
+
+    @property
+    def total_ns(self) -> int:
+        """Pre-copy plus downtime."""
+        return self.precopy_ns + self.downtime_ns
+
+
+def pins_host_state(machine: Machine) -> bool:
+    """Whether this stack parks per-L2 state inside the L0 hypervisor.
+
+    Hardware-assisted nesting does: L0 holds the shadow VMCS02 and (for
+    EPT-on-EPT) the compressed EPT02 for every running L2 guest.  PVM
+    does not — by design, L0 sees only an ordinary VM.
+    """
+    return hasattr(machine, "vmcs_shadow")
+
+
+class MigrationManager:
+    """Migrates the L1 VM hosting a set of secure containers."""
+
+    def migrate_l1(self, machines: Sequence[Machine]) -> MigrationReport:
+        """Live-migrate the L1 VM with all its L2 guests running.
+
+        Raises :class:`NotMigratableError` for bare-metal scenarios and
+        :class:`MigrationBlockedError` when any running stack pins state
+        in the host hypervisor (the kvm NST limitation).
+        """
+        if not machines:
+            raise ValueError("nothing to migrate")
+        for m in machines:
+            if not m.nested:
+                raise NotMigratableError(
+                    f"{m.name} runs on bare metal; there is no L1 VM"
+                )
+            if pins_host_state(m):
+                raise MigrationBlockedError(
+                    f"{m.name}: L0 holds live VMCS02/EPT02 state for the "
+                    f"running L2 guests; the L1 VM cannot be migrated, "
+                    f"saved, or loaded (§2.3)"
+                )
+        pages = sum(self._l1_footprint_pages(m) for m in machines)
+        precopy = pages * PAGE_COPY_NS
+        residual = max(1, int(pages * RESIDUAL_DIRTY))
+        downtime = DOWNTIME_BASE_NS + residual * PAGE_COPY_NS
+        return MigrationReport(
+            pages_copied=pages + residual,
+            precopy_ns=precopy,
+            downtime_ns=downtime,
+        )
+
+    def save_restore_supported(self, machine: Machine) -> bool:
+        """Snapshot/restore of the L1 VM (same constraint as migration)."""
+        return machine.nested and not pins_host_state(machine)
+
+    @staticmethod
+    def _l1_footprint_pages(machine: Machine) -> int:
+        """Pages the L1 VM actually uses for this guest (RAM + tables)."""
+        used = machine.guest_phys.allocator.used_frames
+        l1_phys = getattr(machine, "l1_phys", None)
+        if l1_phys is not None and l1_phys is not machine.guest_phys:
+            used += l1_phys.allocator.used_frames
+        return used

@@ -1,0 +1,175 @@
+"""RunD-like secure-container runtime.
+
+Launches secure containers over one physical host.  Every container is
+its own guest VM (own kernel, own guest-physical memory, own shadow
+state); what they share is the host's root-mode service — one
+:class:`~repro.sim.locks.SimLock` that all nested machines' L0 exits
+serialize on — and, for PVM NST fleets, nothing else (PVM's locks are
+per-VM, which is why PVM fleets scale).
+
+Capacity: hardware-assisted nested virtualization pins VMCS-shadowing
+and shadow-EPT resources per L2 guest in the host; past
+:data:`KVM_NST_CAPACITY` concurrently-running kvm-ept (NST) containers
+the runtime connection fails — modeling the crash the paper observed at
+150 containers (Figure 12).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional
+
+from repro import make_machine
+from repro.containers.container import SecureContainer
+from repro.hw.costs import CostModel, DEFAULT_COSTS
+from repro.hypervisors.base import MachineConfig
+from repro.sim.engine import Engine, SimTask
+from repro.sim.locks import SimLock
+from repro.workloads.ops import WorkloadResult, gen_stepper
+
+
+#: Maximum concurrently-running kvm-ept (NST) containers before the
+#: RunD connection fails (paper §4.3: kvm-ept NST "crashed due to a
+#: failure to connect to the RunD container runtime" at 150).
+KVM_NST_CAPACITY = 128
+
+#: Cold-boot time of a lightweight VM + container (RunD's headline is
+#: high-concurrency startup; we charge a flat simulated boot).
+BOOT_NS = 30_000_000  # 30 ms
+
+#: Root-mode work to set up nested state for one new L2 guest under
+#: hardware-assisted nesting (VMCS02 allocation, shadow-EPT roots) —
+#: serialized on the host's L0 service, which is what turns concurrent
+#: launches into a boot storm.  PVM guests are created entirely inside
+#: L1 and pay nothing here.
+NESTED_BOOT_L0_NS = 1_500_000  # 1.5 ms
+
+
+class RuntimeError_(Exception):
+    """RunD runtime failure (e.g. nested-capacity exhaustion)."""
+
+
+#: Friendlier alias (``RuntimeError_`` avoids shadowing the builtin).
+RundError = RuntimeError_
+
+
+class RunDRuntime:
+    """Manages a fleet of secure containers for one deployment scenario."""
+
+    def __init__(
+        self,
+        scenario: str,
+        config: Optional[MachineConfig] = None,
+        costs: CostModel = DEFAULT_COSTS,
+    ) -> None:
+        self.scenario = scenario
+        self.config = config or MachineConfig()
+        self.costs = costs
+        #: The host's shared root-mode service.
+        self.shared_l0 = SimLock("host-l0-service")
+        self.containers: List[SecureContainer] = []
+        self._ids = itertools.count(1)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def launch(self, scenario: Optional[str] = None) -> SecureContainer:
+        """Boot one secure container; may raise :class:`RuntimeError_`.
+
+        ``scenario`` overrides the runtime's default per container —
+        PVM guests, hardware-nested guests, and ordinary VMs co-exist
+        on one host (§3), sharing only the L0 service."""
+        scenario = scenario or self.scenario
+        if (
+            scenario == "kvm-ept (NST)"
+            and self.running_count >= KVM_NST_CAPACITY
+        ):
+            raise RuntimeError_(
+                f"RunD: failed to connect to container runtime "
+                f"(kvm-ept NST capacity {KVM_NST_CAPACITY} exhausted)"
+            )
+        machine = make_machine(scenario, config=self.config, costs=self.costs)
+        machine.l0_lock = self.shared_l0
+        ctx = machine.new_context()
+        ctx.clock.advance(BOOT_NS)
+        from repro.containers.migration import pins_host_state
+
+        if pins_host_state(machine):
+            # Hardware-assisted nesting: L0 must build this guest's
+            # VMCS02/shadow-EPT state — serialized across the fleet.
+            self.shared_l0.run_locked(ctx.clock, NESTED_BOOT_L0_NS)
+        init = machine.spawn_process()
+        container = SecureContainer(
+            container_id=f"sc-{next(self._ids)}",
+            machine=machine,
+            ctx=ctx,
+            init=init,
+            boot_ns=BOOT_NS,
+        )
+        self.containers.append(container)
+        return container
+
+    def launch_fleet(self, n: int) -> List[SecureContainer]:
+        """Launch n containers."""
+        return [self.launch() for _ in range(n)]
+
+    def stop_all(self) -> None:
+        """Stop every container."""
+        for c in self.containers:
+            c.stop()
+
+    @property
+    def running_count(self) -> int:
+        """Containers currently running."""
+        return sum(1 for c in self.containers if c.state == "running")
+
+    # -- fleet execution ---------------------------------------------------------
+
+    def run_fleet(
+        self,
+        n: int,
+        workload_factory: Callable,
+        max_steps: int = 100_000_000,
+        cpu_pool=None,
+        **params,
+    ) -> WorkloadResult:
+        """Launch ``n`` containers, run one workload instance in each,
+        and return the fleet's timing (boot excluded from makespan base
+        since all containers boot in parallel).
+
+        ``cpu_pool`` (a :class:`~repro.sim.cpupool.CpuPool`) makes the
+        fleet share finite hardware threads: past capacity, every
+        container's time dilates proportionally."""
+        from repro.sim.cpupool import dilated_stepper
+
+        fleet = self.launch_fleet(n)
+        engine = Engine(max_steps=max_steps)
+        for container in fleet:
+            gen = container.run(workload_factory, **params)
+            task = SimTask(
+                name=container.container_id,
+                clock=container.ctx.clock,
+                stepper=gen_stepper(gen),
+            )
+            if cpu_pool is not None:
+                task.stepper = dilated_stepper(task, cpu_pool)
+            engine.add(task)
+        makespan = engine.run()
+        counters: Dict[str, Dict[str, int]] = {}
+        for container in fleet:
+            for name, vals in container.machine.events.snapshot().items():
+                bucket = counters.setdefault(name, {})
+                for k, v in vals.items():
+                    bucket[k] = bucket.get(k, 0) + v
+        result = WorkloadResult(
+            scenario=self.scenario,
+            n=n,
+            makespan_ns=makespan - BOOT_NS,
+            completions_ns=[
+                (t.finished_at if t.finished_at is not None else t.clock.now)
+                - BOOT_NS
+                for t in engine.tasks
+            ],
+            counters=counters,
+        )
+        self.stop_all()
+        return result

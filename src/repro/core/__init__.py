@@ -1,0 +1,38 @@
+"""PVM — the paper's primary contribution.
+
+A software guest hypervisor that runs secure containers in nested VMs
+without any hardware virtualization support and transparently to the
+host hypervisor:
+
+* :mod:`repro.core.switcher` — the per-CPU entry area and the fast
+  software world switches (VM exit/entry and the *direct switch*),
+* :mod:`repro.core.hypercalls` — the 22-entry hypercall fast path,
+* :mod:`repro.core.shadow` — dual (user/kernel) shadow page tables with
+  reverse maps and write-protect synchronization,
+* :mod:`repro.core.sptlocks` — the meta/pt/rmap fine-grained locking
+  scheme vs the global ``mmu_lock``,
+* :mod:`repro.core.pcid` — the PCID-mapping TLB optimization,
+* :mod:`repro.core.interrupts` — L0-assisted injection, customized IDT,
+  and the shared RFLAGS.IF word,
+* :mod:`repro.core.hypervisor` — trap dispatch and instruction emulation,
+* :mod:`repro.core.pvm_machine` — the deployable machine: ``pvm (BM)``
+  on bare metal and ``pvm (NST)`` inside a VM instance.
+"""
+
+from repro.core.switcher import Switcher, SwitcherState
+from repro.core.hypercalls import HYPERCALLS, Hypercall
+from repro.core.shadow import ShadowManager
+from repro.core.sptlocks import SptLockManager
+from repro.core.pcid import PcidMapper
+from repro.core.pvm_machine import PvmMachine
+
+__all__ = [
+    "Switcher",
+    "SwitcherState",
+    "HYPERCALLS",
+    "Hypercall",
+    "ShadowManager",
+    "SptLockManager",
+    "PcidMapper",
+    "PvmMachine",
+]

@@ -1,0 +1,194 @@
+"""PVM's instruction simulator (paper §3.3.1).
+
+When an L2 vCPU executes a privileged instruction off the 22-entry
+hypercall fast path, the resulting #GP exits to the PVM hypervisor,
+which decodes and emulates the instruction against the vCPU's virtual
+state.  This module is that simulator: a decoder over a symbolic
+instruction syntax and per-mnemonic handlers that mutate a real
+:class:`~repro.hw.cpu.VCpu` — MSR file, CR3, interrupt flag, halt
+state — while enforcing the virtual privilege model (v_ring3 may not
+execute privileged instructions even though, physically, everything
+runs at h_ring3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.hw.cpu import Cr3, VCpu
+from repro.hw.types import VirtualRing
+
+
+class GuestProtectionFault(Exception):
+    """#GP the emulator re-injects into the *guest* (v_ring3 tried a
+    privileged instruction — the guest kernel must handle it)."""
+
+    def __init__(self, mnemonic: str) -> None:
+        super().__init__(f"#GP: {mnemonic} from v_ring3")
+        self.mnemonic = mnemonic
+
+
+class DecodeError(Exception):
+    """The byte stream is not an instruction we simulate."""
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction: mnemonic + raw operands."""
+    mnemonic: str
+    operands: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class EmulationResult:
+    """What the simulator did."""
+
+    instruction: Instruction
+    #: Value produced for register-reading instructions (rdmsr, mov
+    #: from cr3, ...); None for pure side-effect instructions.
+    value: Optional[int] = None
+    #: Side effect label for accounting ("cr3-load", "halt", ...).
+    effect: str = ""
+
+
+#: Privileged instructions the simulator decodes (v_ring0 only).
+PRIVILEGED = {
+    "mov_to_cr3", "mov_from_cr3", "wrmsr", "rdmsr", "hlt", "invlpg",
+    "lgdt", "lidt", "ltr", "cli", "sti", "swapgs", "iret", "out", "in",
+}
+#: Unprivileged instructions we still simulate (always allowed).
+UNPRIVILEGED = {"cpuid", "pause"}
+
+
+class InstructionEmulator:
+    """Decode + emulate against a vCPU's virtual state."""
+
+    def __init__(self) -> None:
+        self.emulated = 0
+        self._handlers: Dict[str, Callable[[VCpu, Instruction], EmulationResult]] = {
+            "mov_to_cr3": self._mov_to_cr3,
+            "mov_from_cr3": self._mov_from_cr3,
+            "wrmsr": self._wrmsr,
+            "rdmsr": self._rdmsr,
+            "cpuid": self._cpuid,
+            "hlt": self._hlt,
+            "invlpg": self._nop_effect("tlb-invlpg"),
+            "lgdt": self._nop_effect("gdt-load"),
+            "lidt": self._nop_effect("idt-load"),
+            "ltr": self._nop_effect("tr-load"),
+            "cli": self._cli,
+            "sti": self._sti,
+            "swapgs": self._nop_effect("gs-swap"),
+            "iret": self._iret,
+            "out": self._nop_effect("pio-out"),
+            "in": self._nop_effect("pio-in"),
+            "pause": self._nop_effect("pause"),
+        }
+
+    # -- decode ----------------------------------------------------------
+
+    def decode(self, text: str) -> Instruction:
+        """Decode the symbolic form ``"mnemonic [op1[, op2]]"``."""
+        parts = text.strip().split(None, 1)
+        if not parts:
+            raise DecodeError("empty instruction")
+        mnemonic = parts[0].lower()
+        if mnemonic not in self._handlers:
+            raise DecodeError(f"unsupported instruction {mnemonic!r}")
+        operands: Tuple[str, ...] = ()
+        if len(parts) > 1:
+            operands = tuple(op.strip() for op in parts[1].split(","))
+        return Instruction(mnemonic=mnemonic, operands=operands)
+
+    # -- emulate -----------------------------------------------------------
+
+    def emulate(self, vcpu: VCpu, text: str) -> EmulationResult:
+        """Decode + privilege-check + execute one instruction."""
+        insn = self.decode(text)
+        if (
+            insn.mnemonic in PRIVILEGED
+            and vcpu.virtual_ring is VirtualRing.V_RING3
+        ):
+            # The *virtual* privilege model: user code may not execute
+            # privileged instructions; PVM re-injects the #GP into the
+            # guest kernel rather than emulating.
+            raise GuestProtectionFault(insn.mnemonic)
+        result = self._handlers[insn.mnemonic](vcpu, insn)
+        self.emulated += 1
+        return result
+
+    # -- handlers -------------------------------------------------------------
+
+    @staticmethod
+    def _parse_int(token: str) -> int:
+        try:
+            return int(token, 0)
+        except ValueError:
+            raise DecodeError(f"expected an integer operand, got {token!r}")
+
+    def _mov_to_cr3(self, vcpu: VCpu, insn: Instruction) -> EmulationResult:
+        if len(insn.operands) != 1:
+            raise DecodeError("mov_to_cr3 takes one operand")
+        value = self._parse_int(insn.operands[0])
+        no_flush = bool(value >> 63)
+        vcpu.load_cr3(Cr3(root_frame=(value & ((1 << 52) - 1)) >> 12,
+                          pcid=value & 0xFFF, no_flush=no_flush))
+        return EmulationResult(insn, effect="cr3-load")
+
+    def _mov_from_cr3(self, vcpu: VCpu, insn: Instruction) -> EmulationResult:
+        cr3 = vcpu.cr3
+        value = 0 if cr3 is None else ((cr3.root_frame << 12) | cr3.pcid)
+        return EmulationResult(insn, value=value, effect="cr3-read")
+
+    def _wrmsr(self, vcpu: VCpu, insn: Instruction) -> EmulationResult:
+        if len(insn.operands) != 2:
+            raise DecodeError("wrmsr takes msr, value")
+        index = self._parse_int(insn.operands[0])
+        value = self._parse_int(insn.operands[1])
+        vcpu.write_msr(index, value)
+        return EmulationResult(insn, effect="msr-write")
+
+    def _rdmsr(self, vcpu: VCpu, insn: Instruction) -> EmulationResult:
+        if len(insn.operands) != 1:
+            raise DecodeError("rdmsr takes msr")
+        index = self._parse_int(insn.operands[0])
+        return EmulationResult(insn, value=vcpu.read_msr(index),
+                               effect="msr-read")
+
+    def _cpuid(self, vcpu: VCpu, insn: Instruction) -> EmulationResult:
+        leaf = self._parse_int(insn.operands[0]) if insn.operands else 0
+        # The virtualized CPUID: hypervisor signature leaf advertises PVM.
+        if leaf == 0x4000_0000:
+            return EmulationResult(insn, value=0x50564D21, effect="cpuid")
+        return EmulationResult(insn, value=leaf, effect="cpuid")
+
+    def _hlt(self, vcpu: VCpu, insn: Instruction) -> EmulationResult:
+        vcpu.halted = True
+        return EmulationResult(insn, effect="halt")
+
+    def _cli(self, vcpu: VCpu, insn: Instruction) -> EmulationResult:
+        vcpu.rflags_if = False
+        if vcpu.shared_if is not None:
+            vcpu.shared_if.interrupts_enabled = False
+        return EmulationResult(insn, effect="irq-off")
+
+    def _sti(self, vcpu: VCpu, insn: Instruction) -> EmulationResult:
+        vcpu.rflags_if = True
+        if vcpu.shared_if is not None:
+            vcpu.shared_if.interrupts_enabled = True
+        return EmulationResult(insn, effect="irq-on")
+
+    def _iret(self, vcpu: VCpu, insn: Instruction) -> EmulationResult:
+        # Returning to user: the virtual ring drops to 3 and interrupts
+        # are re-enabled from the iret frame.
+        vcpu.virtual_ring = VirtualRing.V_RING3
+        vcpu.rflags_if = True
+        return EmulationResult(insn, effect="iret")
+
+    def _nop_effect(self, effect: str):
+        def handler(vcpu: VCpu, insn: Instruction) -> EmulationResult:
+            """Generated no-op handler with a fixed effect label."""
+            return EmulationResult(insn, effect=effect)
+
+        return handler

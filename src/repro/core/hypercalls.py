@@ -1,0 +1,83 @@
+"""PVM's hypercall table (paper §3.3.1).
+
+Trap-and-emulate of privileged instructions costs a full instruction
+decode and simulation (:attr:`CostModel.instr_emulation`); PVM therefore
+provides a hypercall fast path — implemented as syscalls with unique
+hypercall numbers — for the 22 most frequently invoked privileged
+instructions.  This module enumerates that table; the handler cost of an
+entry is what the PVM hypervisor charges when servicing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hw.costs import CostModel
+
+
+@dataclass(frozen=True)
+class Hypercall:
+    """One entry of the hypercall table."""
+
+    number: int
+    name: str
+    #: Which CostModel attribute prices this handler's body.
+    cost_attr: str = "pvm_hypercall_handler"
+    #: Whether the switcher can complete the call without entering the
+    #: PVM hypervisor at all (the sysret direct-switch path).
+    switcher_only: bool = False
+
+    def handler_cost(self, costs: CostModel) -> int:
+        """This entry's handler body cost under a cost model."""
+        return getattr(costs, self.cost_attr)
+
+
+def _table() -> Dict[str, Hypercall]:
+    entries = [
+        # Control transfers.
+        Hypercall(0, "iret"),
+        Hypercall(1, "sysret", switcher_only=True),
+        # MSR file.
+        Hypercall(2, "read_msr", cost_attr="pvm_msr_handler"),
+        Hypercall(3, "write_msr", cost_attr="pvm_msr_handler"),
+        # Paging control.
+        Hypercall(4, "write_cr3"),
+        Hypercall(5, "invlpg"),
+        Hypercall(6, "invlpg_range"),
+        Hypercall(7, "flush_tlb"),
+        Hypercall(8, "set_pte"),
+        Hypercall(9, "set_pmd"),
+        Hypercall(10, "set_pud"),
+        Hypercall(11, "set_pgd"),
+        Hypercall(12, "release_pt"),
+        # CPU state.
+        Hypercall(13, "load_gs_base"),
+        Hypercall(14, "load_tls"),
+        Hypercall(15, "write_gdt"),
+        Hypercall(16, "write_idt"),
+        Hypercall(17, "set_debugreg"),
+        # Interrupts and idling.
+        Hypercall(18, "cli_sti_sync"),
+        Hypercall(19, "halt"),
+        Hypercall(20, "send_ipi"),
+        # Misc.
+        Hypercall(21, "cpuid", cost_attr="pvm_cpuid_handler"),
+    ]
+    return {e.name: e for e in entries}
+
+
+#: The 22 frequently-used privileged operations served via hypercall.
+HYPERCALLS: Dict[str, Hypercall] = _table()
+
+assert len(HYPERCALLS) == 22, "the paper specifies a 22-entry table"
+
+
+def hypercall(name: str) -> Hypercall:
+    """Look up a hypercall by name (KeyError with catalog on typo)."""
+    try:
+        return HYPERCALLS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown hypercall {name!r}; known: {sorted(HYPERCALLS)}"
+        ) from None

@@ -1,0 +1,95 @@
+"""PVM interrupt virtualization (paper §3.3.3).
+
+The only part of PVM that involves L0 at all: an external interrupt
+arriving while an L2 guest runs always causes a hardware VM exit from
+the L1 VM to L0.  L0 injects the interrupt into L1 — exactly once —
+and everything after that is software between L1 and L2:
+
+* a **customized IDT** mapped at the address the guest's IDTR points to
+  (shifted back by one PUD so it co-exists with the guest's own IDT)
+  routes the event into the switcher, i.e. a VM exit to PVM;
+* PVM reuses KVM's APIC virtualization to convert it into a virtual
+  interrupt and injects it into the L2 guest;
+* whether injection is allowed right now is decided by reading the
+  8-byte **shared RFLAGS.IF word** — the L2 guest toggles its virtual
+  interrupt flag with plain stores, so PVM can query it without exits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.guest.interrupts import HandlerSite, Idt, Vector
+from repro.hw.cpu import SharedIfWord
+
+
+@dataclass
+class VirtualApic:
+    """Minimal per-guest virtual APIC: pending vectors + stats."""
+
+    pending: List[Vector] = field(default_factory=list)
+    injected: int = 0
+    deferred: int = 0
+
+    def post(self, vector: Vector) -> None:
+        """Enqueue one pending interrupt."""
+        self.pending.append(vector)
+
+    def take(self) -> Optional[Vector]:
+        """Dequeue the next pending vector (None when empty)."""
+        if self.pending:
+            self.injected += 1
+            return self.pending.pop(0)
+        return None
+
+
+class PvmInterruptController:
+    """Routes external interrupts from L0 injection to L2 delivery."""
+
+    def __init__(self) -> None:
+        #: The customized IDT living in the per-CPU entry area.
+        self.custom_idt = Idt(default_site=HandlerSite.SWITCHER)
+        self.custom_idt.point_all_to_switcher()
+        self.apic = VirtualApic()
+        #: The L1/L2-shared interrupt-flag word.
+        self.shared_if = SharedIfWord()
+        self.l0_injections = 0
+
+    def l0_inject(self, vector: Vector) -> None:
+        """L0 delivered an external interrupt into the L1 VM."""
+        self.l0_injections += 1
+        self.apic.post(vector)
+
+    def can_deliver(self) -> bool:
+        """Query the shared word — no exit needed (the whole point)."""
+        return self.shared_if.interrupts_enabled
+
+    def deliver(self) -> Optional[Vector]:
+        """Convert the next pending interrupt into a virtual interrupt
+        for L2, honoring the virtual interrupt flag.
+
+        Returns the vector delivered, or None if delivery is blocked
+        (the interrupt stays pending and the shared word is marked so
+        the guest's next STI re-enters the hypervisor).
+        """
+        if not self.apic.pending:
+            return None
+        if not self.can_deliver():
+            self.apic.deferred += 1
+            self.shared_if.pending_delivery = True
+            return None
+        return self.apic.take()
+
+    def guest_cli(self) -> None:
+        """Guest disables interrupts: a plain store to the shared word."""
+        self.shared_if.interrupts_enabled = False
+
+    def guest_sti(self) -> bool:
+        """Guest re-enables interrupts.  Returns True when a deferred
+        delivery is pending, in which case the guest must hypercall into
+        PVM for delivery."""
+        self.shared_if.interrupts_enabled = True
+        pending = self.shared_if.pending_delivery
+        self.shared_if.pending_delivery = False
+        return pending

@@ -1,0 +1,234 @@
+"""PVM's shadow page tables (paper §3.3.2).
+
+PVM maintains **two** shadow tables per L2 process — one for the guest
+user (v_ring3) and one for the guest kernel (v_ring0) — simulating KPTI
+for L2 at the hypervisor level: the user table simply never contains
+kernel mappings.  Synchronization with the guest's GPT2 uses write
+protection: GPT2 is read-only to L2, every guest PTE write traps, and
+the hypervisor applies it to the shadow side.
+
+A reverse map (gfn -> shadow entries) makes invalidation by guest frame
+O(entries-for-frame) instead of O(table) — one of the three data groups
+the fine-grained locks protect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.guest.process import Process
+from repro.hw.costs import CostModel
+from repro.hw.memory import PhysicalMemory
+from repro.hw.pagetable import PageTable, Pte
+
+
+@dataclass(frozen=True)
+class SyncResult:
+    """Outcome of synchronizing one guest PTE into the shadow side."""
+
+    vpn: int
+    #: Total shadow entry writes across the dual tables.
+    entry_writes: int
+    #: True when new shadow table pages had to be allocated (structural
+    #: change -> needs the meta lock under the fine-grained regime).
+    structural: bool
+    target_frame: int
+
+
+class ShadowManager:
+    """Dual shadow tables + reverse maps for one PVM hypervisor."""
+
+    def __init__(
+        self,
+        table_phys: PhysicalMemory,
+        costs: CostModel,
+        translate_gfn: Callable[[int], int],
+        kpti: bool = True,
+        translate_block: Optional[Callable[[int], int]] = None,
+    ) -> None:
+        self.table_phys = table_phys
+        self.costs = costs
+        self.translate_gfn = translate_gfn
+        #: Block translation for 2 MiB guest mappings: base gfn -> an
+        #: aligned, contiguous 512-frame target base.  When absent, huge
+        #: guest entries are shadowed as huge only if per-frame
+        #: translation happens to preserve contiguity (it usually does
+        #: not), so machines that support THP must provide this.
+        self.translate_block = translate_block
+        self.kpti = kpti
+        #: (pid, half) -> shadow table; half is "user" or "kernel".
+        self._spts: Dict[Tuple[int, str], PageTable] = {}
+        #: gfn -> set of (pid, half, vpn) shadow entries mapping it.
+        self._rmap: Dict[int, Set[Tuple[int, str, int]]] = {}
+        #: Frames of guest page-table pages currently write-protected.
+        self.write_protected_frames: Set[int] = set()
+        #: target frame -> guest frame (inverse of translate_gfn, filled
+        #: on sync so rmap maintenance on unmap is O(1)).
+        self._inverse: Dict[int, int] = {}
+        self.syncs = 0
+        self.rmap_invalidations = 0
+
+    # -- table access -------------------------------------------------------
+
+    def spt(self, proc: Process, half: str = "user") -> PageTable:
+        """The process's shadow table for one half (created on demand)."""
+        if half not in ("user", "kernel"):
+            raise ValueError(f"half must be user|kernel, got {half!r}")
+        key = (proc.pid, half)
+        table = self._spts.get(key)
+        if table is None:
+            table = PageTable(self.table_phys, name=f"SPT12:{proc.pid}:{half}")
+            self._spts[key] = table
+        return table
+
+    def halves(self, proc: Process) -> List[str]:
+        """Which shadow tables a user-page sync must update."""
+        return ["user", "kernel"] if self.kpti else ["user"]
+
+    # -- write protection ---------------------------------------------------------
+
+    def write_protect_gpt(self, proc: Process) -> int:
+        """(Re-)write-protect all of a process's guest table frames.
+
+        Returns the number of frames newly protected.  Called when a
+        process comes under shadow management; new table nodes are added
+        by :meth:`note_gpt_growth` as the guest table grows.
+        """
+        frames = set(proc.gpt.node_frames())
+        new = frames - self.write_protected_frames
+        self.write_protected_frames |= new
+        return len(new)
+
+    def note_gpt_growth(self, proc: Process) -> None:
+        """Write-protect any newly-allocated guest table frames."""
+        self.write_protect_gpt(proc)
+
+    # -- synchronization --------------------------------------------------------------
+
+    def sync(self, proc: Process, vpn: int, gpt_pte: Pte) -> SyncResult:
+        """Install/refresh the shadow entries for one guest PTE.
+
+        Performs the real table updates in both halves (under KPTI) and
+        maintains the reverse map.  Lock costs are charged by the caller
+        through :class:`~repro.core.sptlocks.SptLockManager` — this
+        method is pure mechanism.
+        """
+        if gpt_pte.huge:
+            if self.translate_block is None:
+                raise ValueError(
+                    "huge guest mapping but no block translator configured"
+                )
+            target = self.translate_block(gpt_pte.frame)
+        else:
+            target = self.translate_gfn(gpt_pte.frame)
+        self._inverse[target] = gpt_pte.frame
+        writes = 0
+        structural = False
+        for half in self.halves(proc):
+            table = self.spt(proc, half)
+            existing = table.lookup(vpn)
+            if existing is None:
+                shadow_pte = Pte(
+                    frame=target,
+                    writable=gpt_pte.writable,
+                    user=(half == "user"),
+                    executable=gpt_pte.executable,
+                    huge=gpt_pte.huge,
+                )
+                if gpt_pte.huge:
+                    result = table.map_huge(vpn, shadow_pte)
+                else:
+                    result = table.map(vpn, shadow_pte)
+                writes += len(result.written_frames)
+                if result.allocated_levels:
+                    structural = True
+            else:
+                existing.frame = target
+                table.protect(vpn, writable=gpt_pte.writable)
+                writes += 1
+            self._rmap.setdefault(gpt_pte.frame, set()).add((proc.pid, half, vpn))
+        self.syncs += 1
+        return SyncResult(
+            vpn=vpn, entry_writes=writes, structural=structural,
+            target_frame=target,
+        )
+
+    def unmap(self, proc: Process, vpn: int) -> int:
+        """Drop the shadow entries covering ``vpn``.
+
+        For a huge shadow entry only the (aligned) base unmaps it; other
+        vpns inside the run are no-ops once the base has been dropped.
+        """
+        removed = 0
+        for half in ("user", "kernel"):
+            table = self._spts.get((proc.pid, half))
+            if table is None:
+                continue
+            pte = table.lookup(vpn)
+            if pte is None:
+                continue
+            if pte.huge:
+                if vpn % 512 == 0:
+                    table.unmap_huge(vpn)
+                else:
+                    continue
+            else:
+                table.unmap(vpn)
+            entries = self._rmap.get(self._rmap_gfn_of(pte))
+            if entries is not None:
+                entries.discard((proc.pid, half, vpn))
+            removed += 1
+        return removed
+
+    def lookup(self, proc: Process, vpn: int, half: str = "user") -> Optional[Pte]:
+        """Current mapping state without faulting (None when absent)."""
+        table = self._spts.get((proc.pid, half))
+        return table.lookup(vpn) if table is not None else None
+
+    # -- reverse-map operations -----------------------------------------------------------
+
+    def entries_for_gfn(self, gfn: int) -> Set[Tuple[int, str, int]]:
+        """Reverse map: shadow entries that map one guest frame."""
+        return set(self._rmap.get(gfn, ()))
+
+    def downgrade_gfn(self, gfn: int, processes: Dict[int, Process]) -> int:
+        """Make every shadow entry of ``gfn`` read-only (COW downgrade).
+
+        The rmap turns this from a table scan into a direct walk of the
+        affected entries.  Returns entries touched.
+        """
+        touched = 0
+        for pid, half, vpn in self.entries_for_gfn(gfn):
+            table = self._spts.get((pid, half))
+            if table is None or table.lookup(vpn) is None:
+                continue
+            table.protect(vpn, writable=False)
+            touched += 1
+        self.rmap_invalidations += touched
+        return touched
+
+    # -- lifecycle --------------------------------------------------------------------------
+
+    def drop(self, proc: Process) -> int:
+        """Release all shadow state of a process (exec/exit)."""
+        dropped = 0
+        for half in ("user", "kernel"):
+            table = self._spts.pop((proc.pid, half), None)
+            if table is None:
+                continue
+            for vpn, pte in list(table.iter_mappings()):
+                entries = self._rmap.get(self._rmap_gfn_of(pte))
+                if entries is not None:
+                    entries.discard((proc.pid, half, vpn))
+                dropped += 1
+            table.release()
+        return dropped
+
+    # -- internals -----------------------------------------------------------------------------
+
+    def _rmap_gfn_of(self, shadow_pte: Pte) -> int:
+        # The rmap is keyed by *guest* frame; shadow PTEs store the
+        # translated target.  The inverse map is filled on every sync,
+        # so this is a plain lookup (identity as a safe fallback).
+        return self._inverse.get(shadow_pte.frame, shadow_pte.frame)

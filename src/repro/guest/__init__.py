@@ -1,0 +1,31 @@
+"""Guest operating-system model.
+
+The L2 guest (and the single-level guests of the bare-metal baselines)
+run a small paravirtualizable kernel model: virtual-memory areas with
+demand paging (:mod:`repro.guest.addrspace`), processes with PCIDs
+(:mod:`repro.guest.process`), a kernel that owns guest page tables and
+services faults/syscalls (:mod:`repro.guest.kernel`), a syscall registry
+calibrated against the paper's bare-metal LMbench columns
+(:mod:`repro.guest.syscalls`), and an IDT model
+(:mod:`repro.guest.interrupts`).
+
+The kernel is *mechanism only*: how a page-table write or a user/kernel
+transition is priced depends on the virtualization platform, so the
+kernel reports what it did (entries written, levels allocated) and the
+hypervisor layer charges the architectural costs.
+"""
+
+from repro.guest.addrspace import AddressSpace, Vma, SegfaultError
+from repro.guest.process import Process
+from repro.guest.kernel import GuestKernel
+from repro.guest.syscalls import SYSCALLS, Syscall
+
+__all__ = [
+    "AddressSpace",
+    "Vma",
+    "SegfaultError",
+    "Process",
+    "GuestKernel",
+    "SYSCALLS",
+    "Syscall",
+]

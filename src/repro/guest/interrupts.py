@@ -1,0 +1,103 @@
+"""Guest interrupt model: IDT and virtual interrupt delivery.
+
+The interesting part of interrupt virtualization in the paper (§3.3.3)
+is *routing*: an external interrupt arriving while an L2 guest runs
+always exits to L0 first; KVM then needs several more L0 exits to
+deliver it into L2, while PVM needs none — L0 injects into L1 once and
+PVM's customized IDT handles the rest between L1 and L2.  The IDT here
+records where each vector's handler lives so the hypervisor layers can
+enact those routes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+class Vector(enum.IntEnum):
+    """The handful of vectors the evaluation exercises."""
+
+    DIVIDE_ERROR = 0
+    INVALID_OPCODE = 6
+    GENERAL_PROTECTION = 13
+    PAGE_FAULT = 14
+    TIMER = 32
+    VIRTIO_BLK = 40
+    VIRTIO_NET = 41
+    IPI_RESCHEDULE = 250
+
+
+class HandlerSite(enum.Enum):
+    """Which body of code an IDT entry points at."""
+
+    GUEST_KERNEL = "guest-kernel"
+    #: PVM's customized handlers in the switcher (per-CPU entry area).
+    SWITCHER = "switcher"
+
+
+@dataclass
+class IdtEntry:
+    """One IDT slot: vector -> handler site."""
+    vector: Vector
+    site: HandlerSite
+    present: bool = True
+
+
+class Idt:
+    """An interrupt descriptor table for one guest."""
+
+    def __init__(self, default_site: HandlerSite = HandlerSite.GUEST_KERNEL) -> None:
+        self._entries: Dict[Vector, IdtEntry] = {
+            v: IdtEntry(vector=v, site=default_site) for v in Vector
+        }
+
+    def entry(self, vector: Vector) -> IdtEntry:
+        """Fetch one IDT entry."""
+        return self._entries[vector]
+
+    def point_all_to_switcher(self) -> None:
+        """PVM setup: every entry redirected into the switcher so that
+        any interrupt or exception during L2 execution lands in the
+        per-CPU entry area instead of the guest's own handlers."""
+        for entry in self._entries.values():
+            entry.site = HandlerSite.SWITCHER
+
+    def sites(self) -> Dict[Vector, HandlerSite]:
+        """Map of vector -> handler site."""
+        return {v: e.site for v, e in self._entries.items()}
+
+
+@dataclass
+class PendingInterrupt:
+    """An interrupt awaiting delivery (vector + arrival time)."""
+    vector: Vector
+    arrival_ns: int
+
+
+class InterruptQueue:
+    """Per-guest queue of virtual interrupts awaiting delivery."""
+
+    def __init__(self) -> None:
+        self._pending: list[PendingInterrupt] = []
+        self.delivered = 0
+        self.deferred = 0
+
+    def post(self, irq: PendingInterrupt) -> None:
+        """Enqueue one pending interrupt."""
+        self._pending.append(irq)
+
+    def pop(self) -> Optional[PendingInterrupt]:
+        """Dequeue the oldest pending interrupt (None when empty)."""
+        if self._pending:
+            self.delivered += 1
+            return self._pending.pop(0)
+        return None
+
+    def defer(self) -> None:
+        """Record that delivery was blocked by a cleared interrupt flag."""
+        self.deferred += 1
+
+    def __len__(self) -> int:
+        return len(self._pending)

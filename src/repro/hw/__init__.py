@@ -1,0 +1,42 @@
+"""Hardware substrate for the PVM reproduction.
+
+This package models the pieces of x86-64 hardware that the paper's
+evaluation depends on: physical memory and frame allocation
+(:mod:`repro.hw.memory`), 4-level radix page tables
+(:mod:`repro.hw.pagetable`), a capacity-bounded TLB tagged by
+(VPID, PCID) (:mod:`repro.hw.tlb`), a software MMU that performs genuine
+one-dimensional and two-dimensional page walks (:mod:`repro.hw.mmu`),
+virtual CPUs with privilege rings and VMX root/non-root operation
+(:mod:`repro.hw.cpu`), the VMX protocol including VMCS shadowing
+(:mod:`repro.hw.vmx`), the calibrated nanosecond cost model
+(:mod:`repro.hw.costs`), and event/counter tracing
+(:mod:`repro.hw.events`).
+
+Everything here is deterministic and synchronous: "hardware" operations
+mutate real Python data structures and charge virtual time through the
+cost model, so higher layers observe the same faults, flushes, and
+world-switch sequences the real machine would produce.
+"""
+
+from repro.hw.types import (
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    PT_LEVELS,
+    AccessType,
+    CpuMode,
+    Ring,
+)
+from repro.hw.costs import CostModel
+from repro.hw.events import EventLog, Counter
+
+__all__ = [
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "PT_LEVELS",
+    "AccessType",
+    "CpuMode",
+    "Ring",
+    "CostModel",
+    "EventLog",
+    "Counter",
+]

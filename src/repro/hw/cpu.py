@@ -1,0 +1,99 @@
+"""Virtual CPU state.
+
+A :class:`VCpu` carries exactly the architectural state the paper's
+mechanisms manipulate: the VMX operation mode, the current privilege
+ring, CR3 (active page-table root + PCID), a small MSR file, and the
+interrupt-enable flag.  PVM additionally virtualizes a ring for the
+de-privileged L2 guest (``virtual_ring``) and shares an 8-byte
+interrupt-flag word with the hypervisor (§3.3.3), modeled by
+:class:`SharedIfWord`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.hw.types import Asid, CpuMode, Ring, VirtualRing
+
+
+# A few MSRs the evaluation touches by name.
+MSR_LSTAR = 0xC0000082
+MSR_GS_BASE = 0xC0000101
+MSR_CORE_PERF_GLOBAL_CTRL = 0x38F
+MSR_EFER = 0xC0000080
+
+
+@dataclass
+class SharedIfWord:
+    """The 8-byte L1/L2-shared word virtualizing RFLAGS.IF (§3.3.3).
+
+    The L2 guest toggles its virtual interrupt flag with plain memory
+    writes (no exit); the L1 hypervisor reads it directly to decide
+    whether a virtual interrupt can be injected.
+    """
+
+    interrupts_enabled: bool = True
+    #: Set by the hypervisor when an interrupt arrived while disabled, so
+    #: the guest's next STI re-enters the hypervisor for delivery.
+    pending_delivery: bool = False
+
+
+@dataclass
+class Cr3:
+    """CR3 contents: page-table root frame plus PCID and no-flush bit."""
+
+    root_frame: int
+    pcid: int = 0
+    #: When True (CR3.NOFLUSH), loading this CR3 does not flush the PCID's
+    #: TLB entries — the mechanism PCID mapping exploits.
+    no_flush: bool = False
+
+
+@dataclass
+class VCpu:
+    """One virtual CPU of some level (host pCPU, L1 vCPU, or L2 vCPU)."""
+
+    cpu_id: int
+    mode: CpuMode = CpuMode.ROOT
+    ring: Ring = Ring.RING0
+    #: The level this vCPU belongs to: 0 (host), 1 (guest hypervisor VM),
+    #: or 2 (nested guest).
+    level: int = 0
+    cr3: Optional[Cr3] = None
+    asid: Optional[Asid] = None
+    msrs: Dict[int, int] = field(default_factory=dict)
+    rflags_if: bool = True
+    halted: bool = False
+    #: PVM-only: the guest's virtual ring while physically at RING3.
+    virtual_ring: VirtualRing = VirtualRing.V_RING0
+    #: PVM-only: the shared interrupt-flag word (None for non-PVM vCPUs).
+    shared_if: Optional[SharedIfWord] = None
+
+    def load_cr3(self, cr3: Cr3) -> None:
+        """Load a new CR3 (page-table root + PCID)."""
+        self.cr3 = cr3
+
+    def read_msr(self, index: int) -> int:
+        """Read an MSR (0 when never written)."""
+        return self.msrs.get(index, 0)
+
+    def write_msr(self, index: int, value: int) -> None:
+        """Write an MSR."""
+        self.msrs[index] = value
+
+    def enter_ring(self, ring: Ring) -> Ring:
+        """Change privilege ring; returns the previous ring."""
+        prev, self.ring = self.ring, ring
+        return prev
+
+    @property
+    def in_user(self) -> bool:
+        """True when both hardware and virtual rings are user."""
+        return self.ring is Ring.RING3 and self.virtual_ring is VirtualRing.V_RING3
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<VCpu{self.cpu_id} L{self.level} {self.mode.value} "
+            f"ring{int(self.ring)} vring{int(self.virtual_ring)}>"
+        )

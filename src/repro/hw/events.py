@@ -1,0 +1,221 @@
+"""Event tracing and accounting.
+
+Every architectural event the paper counts — world switches by kind,
+exits to L0, page faults by phase, TLB flushes, lock waits — flows
+through an :class:`EventLog`.  Counters are always on (they are the
+measurements); the detailed per-event trace is opt-in because the
+memory benchmarks generate millions of events.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class SwitchKind(enum.Enum):
+    """Classification of world switches, matching the paper's taxonomy."""
+
+    #: Hardware VMX transition between L1 (non-root) and L0 (root).
+    HW_L1_L0 = "hw:l1<->l0"
+    #: Hardware VMX transition between L2 (non-root) and L0 (root) —
+    #: only exists in hardware-assisted nesting, where every L2 exit
+    #: lands in L0 first.
+    HW_L2_L0 = "hw:l2<->l0"
+    #: Software switch between L2 and L1 performed by PVM's switcher
+    #: (ring transition inside non-root mode; no L0 involvement).
+    PVM_L2_L1 = "pvm:l2<->l1"
+    #: PVM direct switch between L2 user and L2 kernel inside the
+    #: switcher (no hypervisor involvement at all).
+    PVM_DIRECT = "pvm:user<->kernel"
+    #: Guest-internal user/kernel transition on hardware (syscall/iret
+    #: with no virtualization cost).
+    GUEST_INTERNAL = "guest:user<->kernel"
+
+
+class FaultPhase(enum.Enum):
+    """The two phases of a nested page fault (paper §2.2)."""
+
+    GUEST_PT = "phase1:guest-pt"  # GPT2 update
+    SHADOW_PT = "phase2:shadow-pt"  # SPT12 / EPT12+EPT02 update
+
+
+@dataclass
+class Counter:
+    """A named monotonic counter with optional per-key breakdown."""
+
+    name: str
+    total: int = 0
+    by_key: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, n: int = 1, key: Optional[str] = None) -> None:
+        """Record one sample/entry."""
+        self.total += n
+        if key is not None:
+            self.by_key[key] = self.by_key.get(key, 0) + n
+
+    def get(self, key: str, default: int = 0) -> int:
+        """Count recorded under ``key`` (``default`` when never seen)."""
+        return self.by_key.get(key, default)
+
+    def reset(self) -> None:
+        """Reset all counters/state."""
+        self.total = 0
+        self.by_key.clear()
+
+
+@dataclass
+class TraceEvent:
+    """One recorded event (only kept when detailed tracing is enabled)."""
+
+    time_ns: int
+    vcpu: int
+    kind: str
+    detail: str = ""
+
+
+class EventLog:
+    """Central accounting sink shared by one simulated machine."""
+
+    def __init__(self, detailed: bool = False) -> None:
+        self.detailed = detailed
+        self.trace: List[TraceEvent] = []
+        self.world_switches = Counter("world_switches")
+        #: Guest-internal user/kernel transitions — not world switches
+        #: (no hypervisor boundary is crossed), tracked separately so the
+        #: paper's 4n+8 / 2n+6 / 2n+4 counts hold exactly.
+        self.guest_transitions = Counter("guest_transitions")
+        self.l0_exits = Counter("l0_exits")
+        self.l1_exits = Counter("l1_exits")
+        self.page_faults = Counter("page_faults")
+        self.hypercalls = Counter("hypercalls")
+        self.injections = Counter("injections")
+        self.tlb_flushes = Counter("tlb_flushes")
+        self.interrupts = Counter("interrupts")
+        self.lock_wait_ns = Counter("lock_wait_ns")
+        self.emulations = Counter("emulations")
+
+    # -- recording -------------------------------------------------------
+
+    def switch(self, kind: SwitchKind, time_ns: int = 0, vcpu: int = 0) -> None:
+        """Record one world switch (one direction)."""
+        if kind is SwitchKind.GUEST_INTERNAL:
+            self.guest_transitions.add(1, key=kind.value)
+        else:
+            self.world_switches.add(1, key=kind.value)
+        if self.detailed:
+            self.trace.append(TraceEvent(time_ns, vcpu, "switch", kind.value))
+
+    def l0_trap(self, reason: str) -> None:
+        """Record one trap into the L0 hypervisor (the paper's "exit to
+        L0" unit — one trap corresponds to two switch legs)."""
+        self.l0_exits.add(1, key=reason)
+
+    def l1_exit(self, reason: str, time_ns: int = 0, vcpu: int = 0) -> None:
+        """Record an exit from L2 to the L1 hypervisor (PVM path)."""
+        self.l1_exits.add(1, key=reason)
+        if self.detailed:
+            self.trace.append(TraceEvent(time_ns, vcpu, "l1_exit", reason))
+
+    def fault(self, phase: FaultPhase, time_ns: int = 0, vcpu: int = 0) -> None:
+        """Record one page fault by phase."""
+        self.page_faults.add(1, key=phase.value)
+        if self.detailed:
+            self.trace.append(TraceEvent(time_ns, vcpu, "fault", phase.value))
+
+    def hypercall(self, name: str) -> None:
+        """Look up a hypercall by name (KeyError with catalog on typo)."""
+        self.hypercalls.add(1, key=name)
+
+    def inject(self, what: str) -> None:
+        """Record one event injection."""
+        self.injections.add(1, key=what)
+
+    def tlb_flush(self, granularity: str) -> None:
+        """Record one TLB flush by granularity."""
+        self.tlb_flushes.add(1, key=granularity)
+
+    def interrupt(self, vector: str) -> None:
+        """Record one delivered interrupt."""
+        self.interrupts.add(1, key=vector)
+
+    def lock_wait(self, lock_name: str, waited_ns: int) -> None:
+        """Record lock wait time (ignores zero waits)."""
+        if waited_ns > 0:
+            self.lock_wait_ns.add(waited_ns, key=lock_name)
+
+    def emulate(self, what: str) -> None:
+        """Record one emulation by kind."""
+        self.emulations.add(1, key=what)
+
+    # -- inspection --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """A dict snapshot of all counters (deep-copied)."""
+        out: Dict[str, Dict[str, int]] = {}
+        for counter in self._counters():
+            out[counter.name] = {"total": counter.total, **counter.by_key}
+        return out
+
+    def reset(self) -> None:
+        """Reset all counters/state."""
+        for counter in self._counters():
+            counter.reset()
+        self.trace.clear()
+
+    def _counters(self) -> Tuple[Counter, ...]:
+        return (
+            self.world_switches,
+            self.guest_transitions,
+            self.l0_exits,
+            self.l1_exits,
+            self.page_faults,
+            self.hypercalls,
+            self.injections,
+            self.tlb_flushes,
+            self.interrupts,
+            self.lock_wait_ns,
+            self.emulations,
+        )
+
+
+def export_chrome_trace(log: "EventLog", path: str) -> int:
+    """Write the detailed trace as a Chrome-trace-format JSON file.
+
+    Load the result in ``chrome://tracing`` / Perfetto to see world
+    switches, faults, and exits per vCPU on a timeline.  Requires the
+    log to have been created with ``detailed=True``.  Returns the number
+    of events written.
+    """
+    import json
+
+    if not log.detailed:
+        raise ValueError("detailed tracing is off; create EventLog(detailed=True)")
+    events = []
+    for ev in log.trace:
+        events.append({
+            "name": ev.detail or ev.kind,
+            "cat": ev.kind,
+            "ph": "i",  # instant event
+            "ts": ev.time_ns / 1000.0,  # chrome wants microseconds
+            "pid": 0,
+            "tid": ev.vcpu,
+            "s": "t",
+        })
+    with open(path, "w") as f:
+        json.dump({"traceEvents": events,
+                   "displayTimeUnit": "ns"}, f)
+    return len(events)
+
+
+def diff_snapshots(
+    before: Dict[str, Dict[str, int]], after: Dict[str, Dict[str, int]]
+) -> Dict[str, Dict[str, int]]:
+    """Counter deltas between two snapshots (used by per-op assertions)."""
+    out: Dict[str, Dict[str, int]] = {}
+    for name, post in after.items():
+        pre = before.get(name, {})
+        delta = {k: v - pre.get(k, 0) for k, v in post.items()}
+        out[name] = {k: v for k, v in delta.items() if v}
+    return out

@@ -1,0 +1,172 @@
+"""Software MMU: one-dimensional and two-dimensional page walks.
+
+``access_1d`` models a CPU translating through a single page table
+(bare-metal kernels, or a guest running on a *shadow* page table, where
+the hardware sees only SPT12).  ``access_2d`` models hardware
+EPT-assisted translation: the guest dimension (GPT) is walked with each
+step nested through the extended dimension (EPT), exactly the structure
+whose per-step cost the paper's ``walk_step_2d`` reflects.
+
+All misses are surfaced as exceptions carrying structured fault
+descriptors; the MMU never "fixes" anything itself — that is hypervisor
+or kernel policy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hw.costs import CostModel
+from repro.hw.events import EventLog
+from repro.hw.pagetable import PageFaultException, PageTable, WalkResult
+from repro.hw.tlb import Tlb
+from repro.hw.types import AccessType, Asid, EptViolation
+from repro.sim.clock import Clock
+
+
+class EptViolationException(Exception):
+    """Raised when the extended dimension lacks a required translation."""
+
+    def __init__(self, violation: EptViolation) -> None:
+        super().__init__(f"EPT violation @ gpa {violation.gpa:#x}")
+        self.violation = violation
+
+
+class Mmu:
+    """The address-translation engine of one simulated machine."""
+
+    def __init__(self, tlb: Tlb, events: EventLog, costs: CostModel) -> None:
+        self.tlb = tlb
+        self.events = events
+        self.costs = costs
+
+    # -- one-dimensional translation ----------------------------------------
+
+    def access_1d(
+        self,
+        clock: Clock,
+        asid: Asid,
+        pt: PageTable,
+        vpn: int,
+        access: AccessType,
+        user: bool,
+        cache_global: bool = False,
+    ) -> int:
+        """Translate ``vpn`` through a single page table.
+
+        Returns the target frame.  Raises
+        :class:`~repro.hw.pagetable.PageFaultException` on a miss or
+        permission violation, after charging the partial walk.
+        """
+        cached = self.tlb.lookup(asid, vpn)
+        if cached is not None:
+            clock.advance(self.costs.tlb_hit)
+            # Permission downgrades always flush, so a TLB hit is safe to
+            # trust for permissions in this model.
+            return cached
+        try:
+            result = pt.walk(vpn, access, user)
+        except PageFaultException:
+            # Charge the walk that discovered the fault (full depth; the
+            # hardware walks to the missing level, and the difference is
+            # below our cost resolution).
+            clock.advance(pt.levels * self.costs.walk_step_1d)
+            raise
+        clock.advance(pt.levels * self.costs.walk_step_1d)
+        self.tlb.insert(
+            asid, vpn, result.frame,
+            global_=cache_global and result.pte.global_,
+            huge=result.huge,
+        )
+        return result.frame
+
+    # -- two-dimensional translation ------------------------------------------
+
+    def access_2d(
+        self,
+        clock: Clock,
+        asid: Asid,
+        gpt: PageTable,
+        ept: PageTable,
+        vpn: int,
+        access: AccessType,
+        user: bool,
+    ) -> int:
+        """Translate ``vpn`` through GPT nested over EPT.
+
+        Raises :class:`~repro.hw.pagetable.PageFaultException` when the
+        guest dimension misses (a *guest* page fault, delivered to the
+        guest kernel) and :class:`EptViolationException` when the
+        extended dimension misses (delivered to the hypervisor).
+        Returns the final host frame.
+        """
+        cached = self.tlb.lookup(asid, vpn)
+        if cached is not None:
+            clock.advance(self.costs.tlb_hit)
+            return cached
+        try:
+            result: WalkResult = gpt.walk(vpn, access, user)
+        except PageFaultException:
+            clock.advance(gpt.levels * self.costs.walk_step_2d)
+            raise
+        clock.advance(gpt.levels * self.costs.walk_step_2d)
+        # The guest's table pages live in guest-physical memory; hardware
+        # translates each of them through the EPT during the nested walk.
+        for node_frame in result.node_frames:
+            self._ept_resolve(clock, ept, node_frame, AccessType.READ)
+        # Finally translate the leaf guest frame with the real access type.
+        host_frame = self._ept_resolve(clock, ept, result.frame, access)
+        # A guest-huge translation can only fill a huge TLB entry when the
+        # extended dimension preserves contiguity; the EPT resolution here
+        # is per-frame, so only mark huge when the EPT side is huge too.
+        ept_pte = ept.lookup(result.frame)
+        huge = result.huge and ept_pte is not None and ept_pte.huge
+        self.tlb.insert(asid, vpn, host_frame, huge=huge)
+        return host_frame
+
+    def _ept_resolve(
+        self, clock: Clock, ept: PageTable, guest_frame: int, access: AccessType
+    ) -> int:
+        """Inner EPT walk of one guest frame number."""
+        try:
+            walk = ept.walk(guest_frame, access, user=False)
+        except PageFaultException as exc:
+            clock.advance(ept.levels * self.costs.walk_step_1d)
+            raise EptViolationException(
+                EptViolation(
+                    gpa=guest_frame << 12, access=access, level=exc.fault.level
+                )
+            ) from exc
+        clock.advance(ept.levels * self.costs.walk_step_1d)
+        return walk.frame
+
+    # -- flush helpers --------------------------------------------------------
+
+    def flush_page(self, clock: Clock, asid: Asid, vpn: int) -> None:
+        """INVLPG one translation."""
+        self.tlb.flush_page(asid, vpn)
+        self.events.tlb_flush("page")
+        clock.advance(self.costs.tlb_flush_op)
+
+    def flush_pcid(self, clock: Clock, asid: Asid) -> int:
+        """Flush one (VPID, PCID) — the fine-grained flush PVM's PCID
+        mapping makes possible for L2 processes."""
+        n = self.tlb.flush_pcid(asid)
+        self.events.tlb_flush("pcid")
+        clock.advance(self.costs.tlb_flush_op)
+        return n
+
+    def flush_vpid(self, clock: Clock, vpid: int) -> int:
+        """Flush a whole VM's translations — the coarse flush that makes
+        un-mapped-PCID guests pay a cold-start penalty."""
+        n = self.tlb.flush_vpid(vpid)
+        self.events.tlb_flush("vpid")
+        clock.advance(self.costs.tlb_flush_op + self.costs.tlb_vpid_flush_extra)
+        return n
+
+    def flush_all(self, clock: Clock) -> int:
+        """Drop every cached translation."""
+        n = self.tlb.flush_all()
+        self.events.tlb_flush("full")
+        clock.advance(self.costs.tlb_flush_op + self.costs.tlb_vpid_flush_extra)
+        return n

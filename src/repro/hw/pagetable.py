@@ -1,0 +1,511 @@
+"""Four-level radix page tables.
+
+Every address space in the system — L2 guest page tables (GPT2), L1 page
+tables (GPT1), shadow page tables (SPT12), and extended page tables
+(EPT01/EPT12/EPT02) — is an instance of :class:`PageTable`.  The tree is
+made of :class:`PageTableNode` objects, each backed by a real physical
+frame from the owning level's memory, so that write-protecting "the guest
+page table" (the mechanism shadow paging relies on) is expressible as
+write-protecting a concrete set of frames.
+
+Walks, maps and unmaps are genuine radix-tree operations; the number of
+node allocations a ``map`` performs is exactly the ``n`` that appears in
+the paper's world-switch formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.hw.memory import PhysicalMemory
+from repro.hw.types import (
+    ENTRIES_PER_TABLE,
+    PT_LEVELS,
+    AccessType,
+    HardwareError,
+    PageFault,
+    PageFaultError,
+    table_index,
+)
+
+
+#: Pages covered by one huge (2 MiB, level-2) mapping.
+HUGE_PAGE_PAGES = 512
+
+
+@dataclass
+class Pte:
+    """A leaf page-table entry mapping one virtual page to one frame.
+
+    With ``huge`` set the entry lives at level 2 and maps a 512-page
+    (2 MiB) run starting at ``frame`` (frames must be contiguous).
+    """
+
+    frame: int
+    writable: bool = True
+    user: bool = True
+    executable: bool = True
+    global_: bool = False
+    accessed: bool = False
+    dirty: bool = False
+    huge: bool = False
+
+    def permits(self, access: AccessType, user: bool) -> bool:
+        """Check whether this entry allows ``access`` from ``user`` mode."""
+        if user and not self.user:
+            return False
+        if access is AccessType.WRITE and not self.writable:
+            return False
+        if access is AccessType.EXECUTE and not self.executable:
+            return False
+        return True
+
+    def copy(self) -> "Pte":
+        """Deep copy of this entry."""
+        return Pte(
+            frame=self.frame,
+            writable=self.writable,
+            user=self.user,
+            executable=self.executable,
+            global_=self.global_,
+            accessed=self.accessed,
+            dirty=self.dirty,
+            huge=self.huge,
+        )
+
+
+class PageTableNode:
+    """One table page of the radix tree, backed by a physical frame."""
+
+    __slots__ = ("level", "frame", "entries")
+
+    def __init__(self, level: int, frame: int) -> None:
+        self.level = level
+        self.frame = frame
+        # Sparse storage: index -> child node (level > 1) or Pte (level 1).
+        self.entries: Dict[int, object] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<PTNode L{self.level} frame={self.frame:#x} n={len(self.entries)}>"
+
+
+@dataclass(frozen=True)
+class WalkResult:
+    """Successful translation of a virtual page."""
+
+    frame: int
+    pte: Pte
+    #: Frames of the table nodes visited root-to-leaf (for write-protect
+    #: bookkeeping and for charging per-level walk costs).
+    node_frames: Tuple[int, ...]
+    #: True when the translation came from a 2 MiB (level-2) mapping.
+    huge: bool = False
+
+
+@dataclass(frozen=True)
+class MapResult:
+    """Outcome of a map operation.
+
+    ``allocated_levels`` lists the levels (root-down) at which new table
+    nodes had to be allocated; its length is the "number of page table
+    levels" updated — the ``n`` of the paper's fault-path formulas.
+    """
+
+    pte: Pte
+    allocated_levels: Tuple[int, ...]
+    #: Frames written while installing the mapping (one per level touched),
+    #: root-down, ending with the leaf table's frame.  Shadow paging uses
+    #: these to detect guest writes to write-protected table frames.
+    written_frames: Tuple[int, ...]
+
+
+class PageTable:
+    """A 4-level radix page table over an abstract physical memory.
+
+    Parameters
+    ----------
+    phys:
+        The physical memory from which table nodes are allocated.
+    name:
+        Debugging/accounting label (``"GPT2"``, ``"SPT12:user"``, ...).
+    levels:
+        Tree depth; always 4 in this reproduction but parameterized so
+        tests can exercise the level-dependent formulas.
+    """
+
+    def __init__(
+        self,
+        phys: PhysicalMemory,
+        name: str = "pt",
+        levels: int = PT_LEVELS,
+    ) -> None:
+        if levels < 1:
+            raise ValueError(f"levels must be >= 1, got {levels}")
+        self.phys = phys
+        self.name = name
+        self.levels = levels
+        self.root = PageTableNode(levels, phys.alloc_frame(tag=f"pt:{name}"))
+        #: Total leaf mappings currently installed.
+        self.mapped_pages = 0
+        #: Monotric counters for tests/accounting.
+        self.node_allocations = 1
+        self.entry_writes = 0
+        #: Optional hook invoked before any entry write with the frame
+        #: being written; shadow paging installs a write-protect check.
+        self.write_hook: Optional[Callable[[int], None]] = None
+
+    # -- structure -----------------------------------------------------
+
+    @property
+    def root_frame(self) -> int:
+        """The CR3 / EPTP value for this table."""
+        return self.root.frame
+
+    def node_frames(self) -> List[int]:
+        """Frames of all table nodes (for write-protecting a whole GPT)."""
+        frames: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            frames.append(node.frame)
+            if node.level > 1:
+                stack.extend(
+                    child for child in node.entries.values()
+                    if isinstance(child, PageTableNode)
+                )
+        return frames
+
+    # -- mapping -------------------------------------------------------
+
+    def map(self, vpn: int, pte: Pte) -> MapResult:
+        """Install ``pte`` for virtual page ``vpn``, growing the tree.
+
+        Raises :class:`HardwareError` if the page is already mapped;
+        callers must unmap first (matching how kernels treat PTE reuse).
+        """
+        node = self.root
+        allocated: List[int] = []
+        written: List[int] = []
+        for level in range(self.levels, 1, -1):
+            idx = table_index(vpn, level)
+            child = node.entries.get(idx)
+            if child is None:
+                frame = self.phys.alloc_frame(tag=f"pt:{self.name}")
+                child = PageTableNode(level - 1, frame)
+                self._write_entry(node, idx, child)
+                written.append(node.frame)
+                allocated.append(level - 1)
+                self.node_allocations += 1
+            elif not isinstance(child, PageTableNode):
+                raise HardwareError(f"{self.name}: corrupt non-leaf at L{level}")
+            node = child
+        idx = table_index(vpn, 1)
+        if idx in node.entries:
+            raise HardwareError(f"{self.name}: vpn {vpn:#x} already mapped")
+        self._write_entry(node, idx, pte)
+        written.append(node.frame)
+        self.mapped_pages += 1
+        return MapResult(
+            pte=pte,
+            allocated_levels=tuple(allocated),
+            written_frames=tuple(written),
+        )
+
+    def map_huge(self, vpn_base: int, pte: Pte) -> MapResult:
+        """Install one 2 MiB mapping at a 512-page-aligned base.
+
+        A single entry write covers 512 pages — the page-table-churn
+        reduction THP provides.
+        """
+        if vpn_base % HUGE_PAGE_PAGES:
+            raise ValueError(f"huge mapping base {vpn_base:#x} not aligned")
+        pte.huge = True
+        node = self.root
+        allocated: List[int] = []
+        written: List[int] = []
+        for level in range(self.levels, 2, -1):
+            idx = table_index(vpn_base, level)
+            child = node.entries.get(idx)
+            if child is None:
+                frame = self.phys.alloc_frame(tag=f"pt:{self.name}")
+                child = PageTableNode(level - 1, frame)
+                self._write_entry(node, idx, child)
+                written.append(node.frame)
+                allocated.append(level - 1)
+                self.node_allocations += 1
+            elif not isinstance(child, PageTableNode):
+                raise HardwareError(f"{self.name}: corrupt non-leaf at L{level}")
+            node = child
+        idx = table_index(vpn_base, 2)
+        if idx in node.entries:
+            raise HardwareError(
+                f"{self.name}: level-2 slot for {vpn_base:#x} already used"
+            )
+        self._write_entry(node, idx, pte)
+        written.append(node.frame)
+        self.mapped_pages += HUGE_PAGE_PAGES
+        return MapResult(
+            pte=pte,
+            allocated_levels=tuple(allocated),
+            written_frames=tuple(written),
+        )
+
+    def unmap_huge(self, vpn_base: int) -> Pte:
+        """Remove a 2 MiB mapping; returns its PTE."""
+        if vpn_base % HUGE_PAGE_PAGES:
+            raise ValueError(f"huge base {vpn_base:#x} not aligned")
+        node = self.root
+        path: List[Tuple[PageTableNode, int]] = []
+        for level in range(self.levels, 2, -1):
+            idx = table_index(vpn_base, level)
+            child = node.entries.get(idx)
+            if not isinstance(child, PageTableNode):
+                raise HardwareError(f"{self.name}: {vpn_base:#x} not huge-mapped")
+            path.append((node, idx))
+            node = child
+        idx = table_index(vpn_base, 2)
+        pte = node.entries.get(idx)
+        if not isinstance(pte, Pte) or not pte.huge:
+            raise HardwareError(f"{self.name}: {vpn_base:#x} not huge-mapped")
+        self._write_entry(node, idx, None)
+        self.mapped_pages -= HUGE_PAGE_PAGES
+        child = node
+        for parent, pidx in reversed(path):
+            if child.entries:
+                break
+            self.phys.free_frame(child.frame)
+            self._write_entry(parent, pidx, None)
+            child = parent
+        return pte
+
+    def split_huge(self, vpn_base: int) -> MapResult:
+        """Split a 2 MiB mapping into 512 base mappings (THP split).
+
+        Allocates the leaf table and writes all 512 entries — the
+        page-table churn COW-on-fork forces onto huge pages.
+        """
+        pte = self.unmap_huge(vpn_base)
+        node = self.root
+        written: List[int] = []
+        allocated: List[int] = []
+        for level in range(self.levels, 1, -1):
+            idx = table_index(vpn_base, level)
+            child = node.entries.get(idx)
+            if child is None:
+                frame = self.phys.alloc_frame(tag=f"pt:{self.name}")
+                child = PageTableNode(level - 1, frame)
+                self._write_entry(node, idx, child)
+                written.append(node.frame)
+                allocated.append(level - 1)
+                self.node_allocations += 1
+            node = child
+        for i in range(HUGE_PAGE_PAGES):
+            small = pte.copy()
+            small.huge = False
+            small.frame = pte.frame + i
+            self._write_entry(node, table_index(vpn_base + i, 1), small)
+            written.append(node.frame)
+        self.mapped_pages += HUGE_PAGE_PAGES
+        return MapResult(pte=pte, allocated_levels=tuple(allocated),
+                         written_frames=tuple(written))
+
+    def unmap(self, vpn: int) -> Pte:
+        """Remove the mapping for ``vpn`` and return its old PTE.
+
+        Empty intermediate nodes are freed eagerly so that long-running
+        simulations do not leak table frames.
+        """
+        path: List[Tuple[PageTableNode, int]] = []
+        node = self.root
+        for level in range(self.levels, 1, -1):
+            idx = table_index(vpn, level)
+            child = node.entries.get(idx)
+            if not isinstance(child, PageTableNode):
+                raise HardwareError(f"{self.name}: vpn {vpn:#x} not mapped")
+            path.append((node, idx))
+            node = child
+        idx = table_index(vpn, 1)
+        pte = node.entries.get(idx)
+        if not isinstance(pte, Pte):
+            raise HardwareError(f"{self.name}: vpn {vpn:#x} not mapped")
+        self._write_entry(node, idx, None)
+        self.mapped_pages -= 1
+        # Prune now-empty nodes bottom-up.
+        child = node
+        for parent, pidx in reversed(path):
+            if child.entries:
+                break
+            self.phys.free_frame(child.frame)
+            self._write_entry(parent, pidx, None)
+            child = parent
+        return pte
+
+    def protect(self, vpn: int, **flags: bool) -> Pte:
+        """Update permission flags of an existing mapping in place.
+
+        Accepts the keyword flags of :class:`Pte` (``writable``, ``user``,
+        ``executable``, ``global_``).  Returns the updated PTE.
+        """
+        node, idx, pte = self._leaf_of(vpn)
+        for key, value in flags.items():
+            if not hasattr(pte, key):
+                raise ValueError(f"unknown PTE flag {key!r}")
+            setattr(pte, key, value)
+        # A protection change is an entry write (the guest kernel writes
+        # the PTE in place), so it must pass through the write hook.
+        self._write_entry(node, idx, pte)
+        return pte
+
+    def lookup(self, vpn: int) -> Optional[Pte]:
+        """Return the PTE covering ``vpn`` without faulting, or None.
+
+        For a huge mapping, the (shared) huge PTE is returned for any
+        vpn inside its 2 MiB run.
+        """
+        node = self.root
+        for level in range(self.levels, 1, -1):
+            child = node.entries.get(table_index(vpn, level))
+            if isinstance(child, Pte):
+                return child if (child.huge and level == 2) else None
+            if not isinstance(child, PageTableNode):
+                return None
+            node = child
+        pte = node.entries.get(table_index(vpn, 1))
+        return pte if isinstance(pte, Pte) else None
+
+    # -- walking -------------------------------------------------------
+
+    def walk(self, vpn: int, access: AccessType, user: bool) -> WalkResult:
+        """Translate ``vpn`` or raise :class:`PageFaultException`.
+
+        The raised fault records the level at which the walk stopped,
+        which the fault handlers use to size their fix-up work.
+        """
+        node = self.root
+        node_frames: List[int] = [node.frame]
+        for level in range(self.levels, 1, -1):
+            child = node.entries.get(table_index(vpn, level))
+            if isinstance(child, Pte) and child.huge and level == 2:
+                if not child.permits(access, user):
+                    raise PageFaultException(
+                        self._fault(vpn, access, user, present=True, level=2)
+                    )
+                child.accessed = True
+                if access is AccessType.WRITE:
+                    child.dirty = True
+                offset = vpn % HUGE_PAGE_PAGES
+                return WalkResult(
+                    frame=child.frame + offset, pte=child,
+                    node_frames=tuple(node_frames), huge=True,
+                )
+            if not isinstance(child, PageTableNode):
+                raise PageFaultException(
+                    self._fault(vpn, access, user, present=False, level=level)
+                )
+            node = child
+            node_frames.append(node.frame)
+        pte = node.entries.get(table_index(vpn, 1))
+        if not isinstance(pte, Pte):
+            raise PageFaultException(
+                self._fault(vpn, access, user, present=False, level=1)
+            )
+        if not pte.permits(access, user):
+            raise PageFaultException(
+                self._fault(vpn, access, user, present=True, level=1)
+            )
+        pte.accessed = True
+        if access is AccessType.WRITE:
+            pte.dirty = True
+        return WalkResult(frame=pte.frame, pte=pte, node_frames=tuple(node_frames))
+
+    # -- iteration / teardown -------------------------------------------
+
+    def iter_mappings(self) -> Iterator[Tuple[int, Pte]]:
+        """Yield ``(vpn, pte)`` for all leaf mappings (ascending vpn)."""
+
+        def rec(node: PageTableNode, prefix: int) -> Iterator[Tuple[int, Pte]]:
+            """Depth-first walk of the subtree."""
+            for idx in sorted(node.entries):
+                entry = node.entries[idx]
+                vpn_prefix = (prefix << 9) | idx
+                if isinstance(entry, PageTableNode):
+                    yield from rec(entry, vpn_prefix)
+                elif isinstance(entry, Pte):
+                    if entry.huge:
+                        # Level-2 entry: the base vpn has one more level
+                        # of index bits below it.
+                        yield vpn_prefix << 9, entry
+                    else:
+                        yield vpn_prefix, entry
+
+        yield from rec(self.root, 0)
+
+    def destroy(self) -> None:
+        """Bulk-clear: free every table frame, then rebuild an empty root.
+
+        Leaf target frames are not freed — they belong to whoever
+        allocated the data pages.
+        """
+        for frame in self.node_frames():
+            self.phys.free_frame(frame)
+        self.root = PageTableNode(self.levels, self.phys.alloc_frame(tag=f"pt:{self.name}"))
+        self.mapped_pages = 0
+
+    def release(self) -> None:
+        """Final teardown: free every table frame including the root.
+
+        The table is unusable afterwards; any access raises."""
+        for frame in self.node_frames():
+            self.phys.free_frame(frame)
+        self.root = PageTableNode(self.levels, frame=-1)
+        self.mapped_pages = 0
+
+    # -- internals -------------------------------------------------------
+
+    def _write_entry(self, node: PageTableNode, idx: int, value: object) -> None:
+        if self.write_hook is not None:
+            self.write_hook(node.frame)
+        if value is None:
+            node.entries.pop(idx, None)
+        else:
+            node.entries[idx] = value
+        self.entry_writes += 1
+
+    def _leaf_of(self, vpn: int) -> Tuple[PageTableNode, int, Pte]:
+        node = self.root
+        for level in range(self.levels, 1, -1):
+            idx = table_index(vpn, level)
+            child = node.entries.get(idx)
+            if isinstance(child, Pte) and child.huge and level == 2:
+                return node, idx, child
+            if not isinstance(child, PageTableNode):
+                raise HardwareError(f"{self.name}: vpn {vpn:#x} not mapped")
+            node = child
+        idx = table_index(vpn, 1)
+        pte = node.entries.get(idx)
+        if not isinstance(pte, Pte):
+            raise HardwareError(f"{self.name}: vpn {vpn:#x} not mapped")
+        return node, idx, pte
+
+    def _fault(
+        self, vpn: int, access: AccessType, user: bool, present: bool, level: int
+    ) -> PageFault:
+        error = PageFaultError.NONE
+        if present:
+            error |= PageFaultError.PRESENT
+        if access is AccessType.WRITE:
+            error |= PageFaultError.WRITE
+        if access is AccessType.EXECUTE:
+            error |= PageFaultError.FETCH
+        if user:
+            error |= PageFaultError.USER
+        return PageFault(vaddr=vpn << 12, access=access, error=error, level=level)
+
+
+class PageFaultException(Exception):
+    """Control-flow carrier for MMU faults (caught by fault handlers)."""
+
+    def __init__(self, fault: PageFault) -> None:
+        super().__init__(f"page fault @ {fault.vaddr:#x} ({fault.error})")
+        self.fault = fault

@@ -1,0 +1,203 @@
+"""Translation lookaside buffer with hierarchical (VPID, PCID) tags.
+
+The paper's PCID-mapping optimization (§3.3.2) exists because hardware
+TLB flushes are hierarchical: a flush can target a single PCID, but a
+guest without its own PCID window can only be flushed at the coarser
+VPID granularity, wiping every process's entries.  This module models
+exactly that hierarchy so the optimization's effect is emergent, not
+assumed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.hw.types import Asid
+
+
+@dataclass
+class TlbStats:
+    """Hit/miss/flush counters, reset-able between benchmark phases."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    flushes_full: int = 0
+    flushes_vpid: int = 0
+    flushes_pcid: int = 0
+    flushes_page: int = 0
+    entries_flushed: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        """Reset all counters/state."""
+        for name in vars(self):
+            setattr(self, name, 0)
+
+
+@dataclass
+class TlbEntry:
+    """One cached translation (4K or 2 MiB)."""
+    frame: int
+    global_: bool = False
+    huge: bool = False
+
+
+#: Pages per huge TLB entry (2 MiB / 4 KiB).
+HUGE_SPAN = 512
+
+
+class Tlb:
+    """A capacity-bounded, FIFO-evicting TLB with 4K and 2M entries.
+
+    4K entries are keyed by ``(asid, vpn)``; huge entries by
+    ``(asid, vpn >> 9)`` and serve any page in their 2 MiB run — one
+    entry of reach 512x, which is THP's TLB-pressure win.  Global
+    entries (used for the PVM switcher, which the paper pins in the
+    TLB) are only removed by a full flush.
+    """
+
+    def __init__(self, capacity: int = 1536) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[Asid, int], TlbEntry]" = OrderedDict()
+        self._huge: "OrderedDict[Tuple[Asid, int], TlbEntry]" = OrderedDict()
+        self.stats = TlbStats()
+
+    def __len__(self) -> int:
+        return len(self._entries) + len(self._huge)
+
+    # -- lookup / fill ---------------------------------------------------
+
+    def lookup(self, asid: Asid, vpn: int) -> Optional[int]:
+        """Return the cached frame for (asid, vpn) or None on miss."""
+        entry = self._entries.get((asid, vpn))
+        if entry is not None:
+            self.stats.hits += 1
+            return entry.frame
+        huge = self._huge.get((asid, vpn >> 9))
+        if huge is not None:
+            self.stats.hits += 1
+            return huge.frame + (vpn % HUGE_SPAN)
+        self.stats.misses += 1
+        return None
+
+    def insert(self, asid: Asid, vpn: int, frame: int, global_: bool = False,
+               huge: bool = False) -> None:
+        """Fill an entry, evicting the oldest non-global entry if full.
+
+        For huge fills, ``vpn`` may be any page in the run and ``frame``
+        its frame; the entry is normalized to the 2 MiB base.
+        """
+        if huge:
+            key = (asid, vpn >> 9)
+            base_frame = frame - (vpn % HUGE_SPAN)
+            if key not in self._huge and len(self) >= self.capacity:
+                self._evict_one()
+            self._huge[key] = TlbEntry(frame=base_frame, global_=global_,
+                                       huge=True)
+            self._huge.move_to_end(key)
+            self.stats.insertions += 1
+            return
+        key = (asid, vpn)
+        if key not in self._entries and len(self) >= self.capacity:
+            self._evict_one()
+        self._entries[key] = TlbEntry(frame=frame, global_=global_)
+        self._entries.move_to_end(key)
+        self.stats.insertions += 1
+
+    def _evict_one(self) -> None:
+        for store in (self._entries, self._huge):
+            for key, entry in store.items():
+                if not entry.global_:
+                    del store[key]
+                    self.stats.evictions += 1
+                    return
+        # Pathological: TLB full of global entries.  Evict oldest anyway.
+        if self._entries:
+            self._entries.popitem(last=False)
+        else:
+            self._huge.popitem(last=False)
+        self.stats.evictions += 1
+
+    # -- flushes -----------------------------------------------------------
+
+    def flush_all(self) -> int:
+        """Drop everything, including global entries.  Returns count."""
+        n = len(self)
+        self._entries.clear()
+        self._huge.clear()
+        self.stats.flushes_full += 1
+        self.stats.entries_flushed += n
+        return n
+
+    def flush_vpid(self, vpid: int) -> int:
+        """Drop all entries of one VM, all PCIDs — the coarse flush the
+        paper's PCID mapping avoids.  Global entries survive."""
+        flushed = 0
+        for store in (self._entries, self._huge):
+            victims = [
+                k for k, e in store.items()
+                if k[0].vpid == vpid and not e.global_
+            ]
+            for k in victims:
+                del store[k]
+            flushed += len(victims)
+        self.stats.flushes_vpid += 1
+        self.stats.entries_flushed += flushed
+        return flushed
+
+    def flush_pcid(self, asid: Asid) -> int:
+        """Drop one process's entries only (fine-grained flush)."""
+        flushed = 0
+        for store in (self._entries, self._huge):
+            victims = [
+                k for k, e in store.items()
+                if k[0] == asid and not e.global_
+            ]
+            for k in victims:
+                del store[k]
+            flushed += len(victims)
+        self.stats.flushes_pcid += 1
+        self.stats.entries_flushed += flushed
+        return flushed
+
+    def flush_page(self, asid: Asid, vpn: int) -> bool:
+        """INVLPG: drop the translation covering one page."""
+        self.stats.flushes_page += 1
+        entry = self._entries.pop((asid, vpn), None)
+        if entry is None:
+            entry = self._huge.pop((asid, vpn >> 9), None)
+        if entry is not None:
+            self.stats.entries_flushed += 1
+            return True
+        return False
+
+    # -- inspection ---------------------------------------------------------
+
+    def entries_for_vpid(self, vpid: int) -> int:
+        """Count cached entries tagged with one VPID."""
+        return (
+            sum(1 for (asid, _vpn) in self._entries if asid.vpid == vpid)
+            + sum(1 for (asid, _b) in self._huge if asid.vpid == vpid)
+        )
+
+    def entries_for_asid(self, asid: Asid) -> int:
+        """Count cached entries for one (VPID, PCID)."""
+        return (
+            sum(1 for (a, _vpn) in self._entries if a == asid)
+            + sum(1 for (a, _b) in self._huge if a == asid)
+        )

@@ -1,0 +1,18 @@
+"""Paravirtual I/O: virtio queues and devices.
+
+The paper's evaluation uses virtio-blk for disk and vhost-net for
+network (§4).  PVM deliberately reuses KVM's I/O virtualization, so the
+paper's file/network results track KVM closely — the differences come
+only from *doorbell* and *completion-interrupt* delivery, which ride
+the same world-switch machinery everything else uses.
+
+:mod:`repro.io.virtio` models the descriptor ring (a real ring with
+avail/used indices and batching); :mod:`repro.io.devices` models
+virtio-blk and vhost-net backends with calibrated service times.  The
+machine-facing entry points live on :class:`repro.io.devices.IoStack`.
+"""
+
+from repro.io.virtio import VirtQueue, VringDesc
+from repro.io.devices import IoStack, VirtioBlk, VhostNet
+
+__all__ = ["VirtQueue", "VringDesc", "IoStack", "VirtioBlk", "VhostNet"]

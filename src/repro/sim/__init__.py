@@ -1,0 +1,17 @@
+"""Simulation engine: virtual time, contended locks, and scheduling.
+
+The engine is a discrete-event simulator specialized for this
+reproduction: each simulated vCPU owns a :class:`~repro.sim.clock.Clock`
+that accumulates virtual nanoseconds as it executes operations against
+the hardware substrate; the :class:`~repro.sim.engine.Engine`
+interleaves runnable vCPUs by always stepping the one with the earliest
+clock, which is what makes lock contention (:mod:`repro.sim.locks`) and
+serialized hypervisor services behave causally.
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.locks import SimLock
+from repro.sim.engine import Engine, SimTask
+from repro.sim.stats import LatencyStats, summarize
+
+__all__ = ["Clock", "SimLock", "Engine", "SimTask", "LatencyStats", "summarize"]

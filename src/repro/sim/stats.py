@@ -1,0 +1,128 @@
+"""Latency/throughput aggregation for benchmark reporting."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+
+@dataclass
+class LatencyStats:
+    """Accumulates latency samples (ns) and summarizes them."""
+
+    name: str = ""
+    samples: List[int] = field(default_factory=list)
+
+    def add(self, ns: int) -> None:
+        """Record one sample/entry."""
+        if ns < 0:
+            raise ValueError(f"negative latency sample: {ns}")
+        self.samples.append(ns)
+
+    def extend(self, values: Iterable[int]) -> None:
+        """Record many samples."""
+        for v in values:
+            self.add(v)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self.samples)
+
+    @property
+    def total(self) -> int:
+        """Sum of recorded samples."""
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples."""
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def minimum(self) -> int:
+        """Smallest recorded sample."""
+        return min(self.samples) if self.samples else 0
+
+    @property
+    def maximum(self) -> int:
+        """Largest recorded sample."""
+        return max(self.samples) if self.samples else 0
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, p in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return float(ordered[0])
+        rank = (p / 100) * (len(ordered) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return float(ordered[lo])
+        frac = rank - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    @property
+    def p50(self) -> float:
+        """50th percentile (median)."""
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        """95th percentile."""
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        """99th percentile."""
+        return self.percentile(99)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        if self.count < 2:
+            return 0.0
+        mu = self.mean
+        var = sum((s - mu) ** 2 for s in self.samples) / (self.count - 1)
+        return math.sqrt(var)
+
+    def summary(self) -> Dict[str, float]:
+        """Dict summary of the distribution."""
+        return {
+            "count": self.count,
+            "mean_ns": self.mean,
+            "p50_ns": self.p50,
+            "p95_ns": self.p95,
+            "p99_ns": self.p99,
+            "min_ns": float(self.minimum),
+            "max_ns": float(self.maximum),
+        }
+
+
+def summarize(samples: Sequence[int], name: str = "") -> Dict[str, float]:
+    """One-shot: build stats from samples and summarize."""
+    stats = LatencyStats(name=name)
+    stats.extend(samples)
+    return stats.summary()
+
+
+def ns_to_us(ns: float) -> float:
+    """Convert nanoseconds to microseconds."""
+    return ns / 1_000.0
+
+
+def ns_to_s(ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return ns / 1_000_000_000.0
+
+
+def speedup(baseline: float, measured: float) -> float:
+    """How many times faster ``measured`` is than ``baseline``."""
+    if measured <= 0:
+        raise ValueError("measured time must be positive")
+    return baseline / measured

@@ -1,0 +1,22 @@
+"""Workload generators for the paper's evaluation.
+
+Workloads are *generator factories*: calling one with a bound
+``(machine, ctx, proc)`` returns a generator that performs machine-API
+calls and yields between logical steps, so the simulation engine can
+interleave many workloads over shared contended resources.
+
+* :mod:`repro.workloads.ops` — execution helpers and the concurrency
+  driver (:func:`~repro.workloads.ops.run_concurrent`),
+* :mod:`repro.workloads.memalloc` — the alloc/touch micro-benchmark of
+  Figures 4 and 10,
+* :mod:`repro.workloads.lmbench` — the LMbench process and file/VM
+  suites of Tables 3 and 4,
+* :mod:`repro.workloads.apps` — kbuild, blogbench, SPECjbb2005 and
+  fluidanimate models (Figures 11 and 12),
+* :mod:`repro.workloads.cloudsuite` — the CloudSuite analytics trio
+  (Figure 13).
+"""
+
+from repro.workloads.ops import WorkloadResult, gen_stepper, run_concurrent
+
+__all__ = ["WorkloadResult", "gen_stepper", "run_concurrent"]

@@ -1,0 +1,135 @@
+"""Real-world application models (Figures 11 and 12).
+
+Each application is modeled as its characteristic operation mix, at a
+documented scale-down of the paper's runs:
+
+* **kbuild** — compile units: fork/exec of compilers, compute, heap
+  faults, file I/O.  Fork/exec and fault heavy.
+* **blogbench** — a busy file server: file create/delete/read/write
+  with small working-set faults.  Syscall heavy.
+* **SPECjbb2005** — JVM transactions: compute plus heap growth (fresh
+  faults) and re-touches of warm heap (TLB sensitivity).  Reports a
+  throughput score.
+* **fluidanimate** — PARSEC: frames of compute + touches over a
+  persistent particle array, separated by HALT-based blocking
+  synchronization — the workload where PVM's hypercall HLT wins (§4.3).
+
+All generators draw any randomness from a fixed-seed PRNG so runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator
+
+from repro.guest.process import Process
+from repro.hw.types import MIB
+from repro.hypervisors.base import CpuCtx, Machine
+
+
+def kbuild(machine: Machine, ctx: CpuCtx, proc: Process,
+           units: int = 12) -> Generator[None, None, None]:
+    """Build ``units`` compilation units (scaled-down kernel build)."""
+    for _ in range(units):
+        compiler = machine.fork(ctx, proc)
+        machine.exec(ctx, compiler, image_pages=96)
+        yield
+        # Parse + codegen: compute with heap growth.
+        heap = machine.mmap(ctx, compiler, 1 * MIB)
+        for vpn in range(heap.start_vpn, heap.end_vpn):
+            machine.touch(ctx, compiler, vpn, write=True)
+        yield
+        machine.compute(ctx, 2_000_000)  # 2 ms of pure compilation
+        # Source reads + object write.
+        for _ in range(6):
+            machine.syscall(ctx, compiler, "read")
+        machine.syscall(ctx, compiler, "open_close")
+        machine.syscall(ctx, compiler, "write")
+        machine.exit(ctx, compiler)
+        yield
+
+
+def blogbench(machine: Machine, ctx: CpuCtx, proc: Process,
+              rounds: int = 150) -> Generator[None, None, None]:
+    """File-server load: create/read/write/delete articles.
+
+    Returns (via StopIteration value) the number of completed rounds;
+    the score reported by the harness is rounds per virtual second.
+    """
+    rng = random.Random(42)
+    cache = machine.mmap(ctx, proc, 2 * MIB, kind="file", file_key="blog-cache")
+    for r in range(rounds):
+        machine.syscall(ctx, proc, "file_create_10k")
+        machine.syscall(ctx, proc, "write")
+        for _ in range(3):
+            machine.syscall(ctx, proc, "read")
+            machine.syscall(ctx, proc, "stat")
+        # Article cache hits: warm file-page touches.
+        base = cache.start_vpn + rng.randrange(max(1, cache.npages - 8))
+        for vpn in range(base, min(base + 8, cache.end_vpn)):
+            machine.touch(ctx, proc, vpn, write=False)
+        if r % 5 == 4:
+            machine.syscall(ctx, proc, "file_delete_10k")
+        yield
+
+
+def specjbb(machine: Machine, ctx: CpuCtx, proc: Process,
+            batches: int = 120, heap_growth_pages: int = 24,
+            warm_touches: int = 40) -> Generator[None, None, None]:
+    """JVM transaction batches: compute + heap growth + warm re-touch."""
+    rng = random.Random(7)
+    heap = machine.mmap(ctx, proc, 8 * MIB)
+    cursor = heap.start_vpn
+    for _ in range(batches):
+        machine.compute(ctx, 400_000)  # 0.4 ms of transaction logic
+        # Heap growth: fresh faults (allocation-heavy Java).
+        for _ in range(heap_growth_pages):
+            if cursor >= heap.end_vpn:
+                machine.munmap(ctx, proc, heap)
+                heap = machine.mmap(ctx, proc, 8 * MIB)
+                cursor = heap.start_vpn
+                yield
+            machine.touch(ctx, proc, cursor, write=True)
+            cursor += 1
+        # Warm-heap accesses (young-gen scans): TLB-sensitivity.
+        span = max(1, cursor - heap.start_vpn)
+        for _ in range(warm_touches):
+            machine.touch(ctx, proc, heap.start_vpn + rng.randrange(span),
+                          write=False)
+        yield
+
+
+def fluidanimate(machine: Machine, ctx: CpuCtx, proc: Process,
+                 frames: int = 80, array_pages: int = 512,
+                 barriers_per_frame: int = 10,
+                 barrier_wait_ns: int = 5_000) -> Generator[None, None, None]:
+    """Particle simulation frames with HALT-based barrier waits.
+
+    Blocking synchronization is frequent and fine-grained (PARSEC's
+    pthread barriers between simulation phases), which is what makes
+    HLT handling efficiency matter: PVM's hypercall HLT sleeps and
+    wakes without root-mode switches (§4.3).
+    """
+    array = machine.mmap(ctx, proc, array_pages << 12)
+    # First frame faults the whole array in.
+    for vpn in range(array.start_vpn, array.end_vpn):
+        machine.touch(ctx, proc, vpn, write=True)
+    yield
+    for _ in range(frames):
+        machine.compute(ctx, 400_000)  # particle math per phase group
+        # Re-walk a quarter of the array (cell neighbours).
+        for vpn in range(array.start_vpn, array.start_vpn + array_pages // 4):
+            machine.touch(ctx, proc, vpn, write=True)
+        # Blocking synchronization: idle in HLT until peers catch up.
+        for _ in range(barriers_per_frame):
+            machine.halt(ctx, wake_after_ns=barrier_wait_ns)
+        yield
+
+
+APPS = {
+    "kbuild": kbuild,
+    "blogbench": blogbench,
+    "specjbb2005": specjbb,
+    "fluidanimate": fluidanimate,
+}

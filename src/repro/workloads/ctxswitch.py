@@ -1,0 +1,68 @@
+"""Context-switch latency workload (lmbench's ``lat_ctx`` shape).
+
+N processes share one vCPU and pass a token round-robin: each hop is a
+pair of syscalls plus a scheduler context switch (CR3 load), followed
+by a touch of the process's working set.  This is the workload where
+PVM's PCID mapping shows up directly: without it, every L2 CR3 load
+flushes the guest's whole TLB tag and each process restarts cold
+(§3.3.2's "cold-start penalty").
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.guest.process import Process
+from repro.hypervisors.base import CpuCtx, Machine
+
+
+def token_ring(
+    machine: Machine,
+    ctx: CpuCtx,
+    proc: Process,
+    nprocs: int = 4,
+    hops: int = 64,
+    wss_pages: int = 32,
+) -> Generator[None, None, None]:
+    """Token passing across ``nprocs`` processes on one vCPU.
+
+    ``proc`` is the ring's first member; the rest are spawned here.
+    Per hop: read (receive token), write (pass it on), context switch,
+    then walk the working set.
+    """
+    procs: List[Process] = [proc]
+    vmas = []
+    for _ in range(nprocs - 1):
+        procs.append(machine.spawn_process())
+    for p in procs:
+        vma = machine.mmap(ctx, p, wss_pages << 12)
+        for vpn in range(vma.start_vpn, vma.end_vpn):
+            machine.touch(ctx, p, vpn, write=True)
+        vmas.append(vma)
+    yield
+    current = 0
+    for _ in range(hops):
+        nxt = (current + 1) % nprocs
+        machine.syscall(ctx, procs[current], "write")  # pass the token
+        machine.context_switch(ctx, procs[current], procs[nxt])
+        machine.syscall(ctx, procs[nxt], "read")  # receive it
+        vma = vmas[nxt]
+        for vpn in range(vma.start_vpn, vma.end_vpn):
+            machine.touch(ctx, procs[nxt], vpn, write=False)
+        current = nxt
+        yield
+
+
+def measure_hop_ns(machine: Machine, nprocs: int = 4, hops: int = 64,
+                   wss_pages: int = 32) -> float:
+    """Mean per-hop time (ns) after warmup."""
+    ctx = machine.new_context()
+    proc = machine.spawn_process()
+    gen = token_ring(machine, ctx, proc, nprocs=nprocs, hops=hops,
+                     wss_pages=wss_pages)
+    next(gen)  # setup
+    start = ctx.clock.now
+    steps = 0
+    for _ in gen:
+        steps += 1
+    return (ctx.clock.now - start) / steps if steps else 0.0

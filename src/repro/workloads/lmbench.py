@@ -1,0 +1,247 @@
+"""LMbench-style micro-benchmarks (Tables 3 and 4).
+
+Each benchmark is a workload factory returning a generator; each also
+has a *measured* variant (``measure_*``) that runs N iterations and
+returns the mean per-operation latency in ns — the unit the paper's
+tables report.
+
+The process suite (Table 3): null I/O, stat, open/close, select TCP,
+signal install, signal handling, fork, exec, and sh.  The file & VM
+suite (Table 4): 0K/10K file create/delete, mmap, protection fault,
+(file) page fault, and 100-fd select.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator
+
+from repro.guest.addrspace import SegfaultError, Vma
+from repro.guest.process import Process
+from repro.hw.types import KIB, MIB
+from repro.hypervisors.base import CpuCtx, Machine
+
+
+#: Pages of a typical lmbench parent image (drives fork/exec cost).
+IMAGE_PAGES = 250
+
+
+def _prefault_image(machine: Machine, ctx: CpuCtx, proc: Process,
+                    pages: int = IMAGE_PAGES) -> Vma:
+    """Populate a parent image so fork has page tables to copy."""
+    vma = machine.mmap(ctx, proc, pages << 12)
+    for vpn in range(vma.start_vpn, vma.end_vpn):
+        machine.touch(ctx, proc, vpn, write=True)
+    return vma
+
+
+# ---------------------------------------------------------------------------
+# Table 3: process suite
+# ---------------------------------------------------------------------------
+
+def null_io(machine, ctx, proc, iterations: int = 200) -> Generator[None, None, None]:
+    """lmbench null I/O: 1-byte read syscalls in a loop."""
+    for _ in range(iterations):
+        machine.syscall(ctx, proc, "null_io")
+        yield
+
+
+def stat(machine, ctx, proc, iterations: int = 200) -> Generator[None, None, None]:
+    """lmbench stat: stat() syscalls in a loop."""
+    for _ in range(iterations):
+        machine.syscall(ctx, proc, "stat")
+        yield
+
+
+def open_close(machine, ctx, proc, iterations: int = 100) -> Generator[None, None, None]:
+    """lmbench open/close: open+close pairs in a loop."""
+    for _ in range(iterations):
+        machine.syscall(ctx, proc, "open_close")
+        yield
+
+
+def slct_tcp(machine, ctx, proc, iterations: int = 200) -> Generator[None, None, None]:
+    """lmbench slct TCP: select() over 10 TCP fds in a loop."""
+    for _ in range(iterations):
+        machine.syscall(ctx, proc, "select_tcp")
+        yield
+
+
+def sig_inst(machine, ctx, proc, iterations: int = 200) -> Generator[None, None, None]:
+    """lmbench sig inst: signal-handler installation in a loop."""
+    for _ in range(iterations):
+        machine.syscall(ctx, proc, "sig_inst")
+        yield
+
+
+def sig_hndl(machine, ctx, proc, iterations: int = 200) -> Generator[None, None, None]:
+    """lmbench sig hndl: signal delivery + sigreturn in a loop."""
+    for _ in range(iterations):
+        machine.syscall(ctx, proc, "sig_hndl")
+        yield
+
+
+def fork_proc(machine, ctx, proc, iterations: int = 8) -> Generator[None, None, None]:
+    """fork + child exit + wait (lmbench ``fork proc``)."""
+    _prefault_image(machine, ctx, proc)
+    yield
+    for _ in range(iterations):
+        child = machine.fork(ctx, proc)
+        machine.exit(ctx, child)
+        yield
+
+
+def exec_proc(machine, ctx, proc, iterations: int = 8) -> Generator[None, None, None]:
+    """fork + exec + child exit (lmbench ``exec proc``)."""
+    _prefault_image(machine, ctx, proc)
+    yield
+    for _ in range(iterations):
+        child = machine.fork(ctx, proc)
+        machine.exec(ctx, child, image_pages=64)
+        machine.exit(ctx, child)
+        yield
+
+
+def sh_proc(machine, ctx, proc, iterations: int = 4) -> Generator[None, None, None]:
+    """fork + exec /bin/sh + sh forks/execs the command (lmbench ``sh proc``)."""
+    _prefault_image(machine, ctx, proc)
+    yield
+    for _ in range(iterations):
+        shell = machine.fork(ctx, proc)
+        machine.exec(ctx, shell, image_pages=96)  # the shell image
+        grandchild = machine.fork(ctx, shell)
+        machine.exec(ctx, grandchild, image_pages=64)  # the command
+        machine.exit(ctx, grandchild)
+        machine.exit(ctx, shell)
+        yield
+
+
+# ---------------------------------------------------------------------------
+# Table 4: file & VM suite
+# ---------------------------------------------------------------------------
+
+def file_create_delete(machine, ctx, proc, size_kb: int = 0,
+                       iterations: int = 50) -> Generator[None, None, None]:
+    """lmbench file create/delete pairs (0K or 10K files)."""
+    create = "file_create_0k" if size_kb == 0 else "file_create_10k"
+    delete = "file_delete_0k" if size_kb == 0 else "file_delete_10k"
+    for _ in range(iterations):
+        machine.syscall(ctx, proc, create)
+        machine.syscall(ctx, proc, delete)
+        yield
+
+
+def mmap_latency(machine, ctx, proc, region_bytes: int = 4 * MIB,
+                 iterations: int = 4) -> Generator[None, None, None]:
+    """Map, touch, and unmap a file region (lmbench ``Mmap`` latency)."""
+    for _ in range(iterations):
+        vma = machine.mmap(ctx, proc, region_bytes, kind="file",
+                           file_key="lmbench-mmap-file")
+        for vpn in range(vma.start_vpn, vma.end_vpn):
+            machine.touch(ctx, proc, vpn, write=False)
+        machine.munmap(ctx, proc, vma)
+        yield
+
+
+def prot_fault(machine, ctx, proc, iterations: int = 50) -> Generator[None, None, None]:
+    """Write to a write-protected page; measure SIGSEGV delivery."""
+    vma = machine.mmap(ctx, proc, 64 * KIB)
+    for vpn in range(vma.start_vpn, vma.end_vpn):
+        machine.touch(ctx, proc, vpn, write=True)
+    machine.mprotect(ctx, proc, vma, writable=False)
+    yield
+    for i in range(iterations):
+        vpn = vma.start_vpn + (i % vma.npages)
+        try:
+            machine.touch(ctx, proc, vpn, write=True)
+        except SegfaultError:
+            pass
+        else:  # pragma: no cover - would indicate an mprotect bug
+            raise AssertionError("write to protected page must fault")
+        yield
+
+
+def page_fault(machine, ctx, proc, region_bytes: int = 1 * MIB,
+               iterations: int = 4) -> Generator[None, None, None]:
+    """Fault pages of a (page-cache-warm) file mapping (lmbench ``Page
+    Fault``): map, read-touch each page, unmap, repeat."""
+    for _ in range(iterations):
+        vma = machine.mmap(ctx, proc, region_bytes, writable=False,
+                           kind="file", file_key="lmbench-pf-file")
+        for vpn in range(vma.start_vpn, vma.end_vpn):
+            machine.touch(ctx, proc, vpn, write=False)
+        machine.munmap(ctx, proc, vma)
+        yield
+
+
+def select_100fd(machine, ctx, proc, iterations: int = 200) -> Generator[None, None, None]:
+    """lmbench 100fd select in a loop."""
+    for _ in range(iterations):
+        machine.syscall(ctx, proc, "select_100fd")
+        yield
+
+
+# ---------------------------------------------------------------------------
+# Measurement helpers
+# ---------------------------------------------------------------------------
+
+#: Registry: benchmark name -> (factory, per-iteration operation count).
+PROCESS_SUITE: Dict[str, Callable] = {
+    "null I/O": null_io,
+    "stat": stat,
+    "open/close": open_close,
+    "slct TCP": slct_tcp,
+    "sig inst": sig_inst,
+    "sig hndl": sig_hndl,
+    "fork proc": fork_proc,
+    "exec proc": exec_proc,
+    "sh proc": sh_proc,
+}
+
+FILE_VM_SUITE: Dict[str, Callable] = {
+    "0K create/delete": file_create_delete,
+    "10K create/delete": lambda m, c, p, **kw: file_create_delete(m, c, p, size_kb=10, **kw),
+    "Mmap": mmap_latency,
+    "Prot Fault": prot_fault,
+    "Page Fault": page_fault,
+    "100fd select": select_100fd,
+}
+
+
+def measure_mean_op_ns(
+    machine: Machine,
+    factory: Callable,
+    warmup_ops: int = 0,
+    per_page: bool = False,
+    **params,
+) -> float:
+    """Run one benchmark instance and return mean ns per iteration.
+
+    ``per_page`` divides by pages touched instead of loop iterations
+    (used by the Mmap / Page Fault rows, which lmbench reports
+    per-operation on the faulted region).
+    """
+    ctx = machine.new_context()
+    proc = machine.spawn_process()
+    gen = factory(machine, ctx, proc, **params)
+    # Setup portion runs until the first yield; exclude it from timing
+    # only for benchmarks with explicit setup (fork/exec/prot families
+    # yield once after setup).
+    try:
+        next(gen)
+    except StopIteration:
+        return 0.0
+    start = ctx.clock.now
+    steps = 0
+    try:
+        while True:
+            next(gen)
+            steps += 1
+    except StopIteration:
+        pass
+    elapsed = ctx.clock.now - start
+    if steps == 0:
+        return 0.0
+    if per_page:
+        pages = params.get("region_bytes", 4 * MIB) >> 12
+        return elapsed / (steps * pages)
+    return elapsed / steps

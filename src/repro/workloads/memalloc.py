@@ -1,0 +1,59 @@
+"""The memory-allocation micro-benchmark of Figures 4 and 10.
+
+Figure 4 variant (``release=False``): sequentially allocate 1 MB
+regions and touch every page, until ``total_bytes`` have been accessed —
+the working set *accumulates*.
+
+Figure 10 variant (``release=True``): repeatedly allocate **and
+release** 1 MB, touching each page, until the cumulative touched data
+reaches ``total_bytes`` — the guest page table churns continuously.
+
+Either way every touched page is a fresh guest-physical frame (the
+guest allocator streams; see :class:`repro.hw.memory.FrameAllocator`),
+so each touch exercises the full two-phase fault path of the scenario
+under test.  ``total_bytes`` defaults to 16 MiB — a 1/256 scale-down of
+the paper's 4 GB, documented in EXPERIMENTS.md; virtual time scales
+linearly in fault count.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.guest.process import Process
+from repro.hw.types import MIB
+from repro.hypervisors.base import CpuCtx, Machine
+
+
+DEFAULT_TOTAL_BYTES = 16 * MIB
+DEFAULT_CHUNK_BYTES = 1 * MIB
+
+
+def memalloc(
+    machine: Machine,
+    ctx: CpuCtx,
+    proc: Process,
+    total_bytes: int = DEFAULT_TOTAL_BYTES,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    release: bool = True,
+    touch_compute_ns: int = 120,
+) -> Generator[None, None, None]:
+    """The alloc/touch loop.
+
+    ``touch_compute_ns`` models the benchmark's own user-mode work per
+    page (loop + store), identical across scenarios.
+    """
+    if total_bytes <= 0 or chunk_bytes <= 0:
+        raise ValueError("sizes must be positive")
+    touched = 0
+    while touched < total_bytes:
+        vma = machine.mmap(ctx, proc, chunk_bytes)
+        yield
+        for vpn in range(vma.start_vpn, vma.end_vpn):
+            machine.compute(ctx, touch_compute_ns)
+            machine.touch(ctx, proc, vpn, write=True)
+            yield
+        touched += chunk_bytes
+        if release:
+            machine.munmap(ctx, proc, vma)
+            yield

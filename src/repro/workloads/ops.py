@@ -1,0 +1,118 @@
+"""Workload execution helpers.
+
+The contract: a *workload factory* is ``f(machine, ctx, proc, **params)
+-> generator``.  The generator performs machine-API calls (which advance
+``ctx.clock``) and ``yield``s at interleaving points.  The helpers here
+adapt generators to engine tasks and drive N concurrent instances of a
+workload over shared machines — the shape of every multi-process /
+multi-container experiment in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional, Sequence
+
+from repro.hypervisors.base import CpuCtx, Machine
+from repro.sim.engine import Engine, SimTask
+
+
+WorkloadFactory = Callable[..., Generator[None, None, None]]
+
+
+def gen_stepper(gen: Generator[None, None, None]) -> Callable[[], bool]:
+    """Adapt a workload generator to an engine stepper."""
+
+    def step() -> bool:
+        """Execute one queued operation; True while more remain."""
+        try:
+            next(gen)
+            return True
+        except StopIteration:
+            return False
+
+    return step
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one concurrent workload run."""
+
+    scenario: str
+    n: int
+    #: Finish time of the slowest instance (the paper's "execution time").
+    makespan_ns: int
+    #: Per-instance completion times.
+    completions_ns: List[int]
+    #: Counter snapshot accumulated across all shared machines.
+    counters: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def makespan_s(self) -> float:
+        """Makespan in seconds."""
+        return self.makespan_ns / 1e9
+
+    @property
+    def mean_completion_ns(self) -> float:
+        """Mean per-instance completion (ns)."""
+        return sum(self.completions_ns) / len(self.completions_ns)
+
+    @property
+    def mean_completion_s(self) -> float:
+        """Mean per-instance completion (seconds)."""
+        return self.mean_completion_ns / 1e9
+
+
+def run_concurrent(
+    machines: Sequence[Machine],
+    factory: WorkloadFactory,
+    max_steps: int = 100_000_000,
+    **params,
+) -> WorkloadResult:
+    """Run one workload instance per machine, interleaved causally.
+
+    ``machines`` may be N distinct machines sharing an L0 lock (the
+    multi-container experiments) or the same machine repeated N times
+    (the multi-process-one-container experiments); each instance gets
+    its own vCPU context and process either way.
+    """
+    if not machines:
+        raise ValueError("need at least one machine")
+    engine = Engine(max_steps=max_steps)
+    for i, machine in enumerate(machines):
+        ctx = machine.new_context()
+        proc = machine.spawn_process()
+        gen = factory(machine, ctx, proc, **params)
+        engine.add(SimTask(name=f"w{i}", clock=ctx.clock, stepper=gen_stepper(gen)))
+    makespan = engine.run()
+    counters: Dict[str, Dict[str, int]] = {}
+    seen = set()
+    for machine in machines:
+        if id(machine) in seen:
+            continue
+        seen.add(id(machine))
+        snap = machine.events.snapshot()
+        for name, vals in snap.items():
+            bucket = counters.setdefault(name, {})
+            for k, v in vals.items():
+                bucket[k] = bucket.get(k, 0) + v
+    return WorkloadResult(
+        scenario=machines[0].name,
+        n=len(machines),
+        makespan_ns=makespan,
+        completions_ns=[
+            t.finished_at if t.finished_at is not None else t.clock.now
+            for t in engine.tasks
+        ],
+        counters=counters,
+    )
+
+
+def touch_range(machine: Machine, ctx: CpuCtx, proc, start_vpn: int,
+                npages: int, write: bool = True,
+                yield_every: int = 1) -> Generator[None, None, None]:
+    """Touch ``npages`` pages, yielding every ``yield_every`` touches."""
+    for i in range(npages):
+        machine.touch(ctx, proc, start_vpn + i, write=write)
+        if (i + 1) % yield_every == 0:
+            yield

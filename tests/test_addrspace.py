@@ -1,0 +1,124 @@
+"""Unit tests for VMAs and address spaces."""
+
+import pytest
+
+from repro.guest.addrspace import (
+    KERNEL_BASE_VPN,
+    MMAP_BASE_VPN,
+    AddressSpace,
+    SegfaultError,
+    Vma,
+)
+from repro.hw.types import MIB, PAGE_SIZE
+
+
+class TestVma:
+    def test_bounds(self):
+        v = Vma(10, 5)
+        assert v.end_vpn == 15
+        assert v.contains(10) and v.contains(14)
+        assert not v.contains(15)
+
+    def test_zero_pages_rejected(self):
+        with pytest.raises(ValueError):
+            Vma(0, 0)
+
+    def test_overlap(self):
+        assert Vma(0, 10).overlaps(Vma(9, 5))
+        assert not Vma(0, 10).overlaps(Vma(10, 5))
+
+
+class TestAddressSpace:
+    def test_mmap_bump_allocation(self):
+        a = AddressSpace()
+        v1 = a.mmap(1 * MIB)
+        v2 = a.mmap(PAGE_SIZE)
+        assert v1.start_vpn == MMAP_BASE_VPN
+        assert v2.start_vpn == v1.end_vpn
+
+    def test_mmap_rounds_up(self):
+        a = AddressSpace()
+        v = a.mmap(PAGE_SIZE + 1)
+        assert v.npages == 2
+
+    def test_mmap_zero_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace().mmap(0)
+
+    def test_insert_overlap_rejected(self):
+        a = AddressSpace()
+        a.insert(Vma(100, 10))
+        with pytest.raises(ValueError):
+            a.insert(Vma(105, 10))
+
+    def test_insert_kernel_space_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace().insert(Vma(KERNEL_BASE_VPN, 1))
+
+    def test_vma_at(self):
+        a = AddressSpace()
+        v = a.insert(Vma(100, 10))
+        assert a.vma_at(105) is v
+        with pytest.raises(SegfaultError):
+            a.vma_at(110)
+
+    def test_vma_at_reports_address(self):
+        a = AddressSpace()
+        with pytest.raises(SegfaultError) as exc:
+            a.vma_at(0x123)
+        assert exc.value.vaddr == 0x123 << 12
+
+    def test_covers(self):
+        a = AddressSpace()
+        a.insert(Vma(100, 10))
+        assert a.covers(100)
+        assert not a.covers(99)
+
+    def test_munmap(self):
+        a = AddressSpace()
+        v = a.mmap(PAGE_SIZE)
+        removed = a.munmap(v.start_vpn)
+        assert removed is v
+        assert not a.covers(v.start_vpn)
+
+    def test_munmap_requires_exact_start(self):
+        a = AddressSpace()
+        a.insert(Vma(100, 10))
+        with pytest.raises(ValueError):
+            a.munmap(105)
+
+    def test_total_pages(self):
+        a = AddressSpace()
+        a.mmap(2 * PAGE_SIZE)
+        a.mmap(3 * PAGE_SIZE)
+        assert a.total_pages == 5
+
+    def test_clone_independent(self):
+        a = AddressSpace()
+        a.mmap(PAGE_SIZE, kind="anon")
+        b = a.clone()
+        assert b.total_pages == a.total_pages
+        b.mmap(PAGE_SIZE)
+        assert b.total_pages == a.total_pages + 1
+        # Cursors advance independently after the clone point.
+        va = a.mmap(PAGE_SIZE)
+        assert a.covers(va.start_vpn)
+
+    def test_clone_copies_file_keys(self):
+        a = AddressSpace()
+        a.mmap(PAGE_SIZE, kind="file", file_key="f")
+        b = a.clone()
+        assert next(iter(b)).file_key == "f"
+
+    def test_clear(self):
+        a = AddressSpace()
+        a.mmap(PAGE_SIZE)
+        a.clear()
+        assert len(a) == 0
+        assert a.mmap(PAGE_SIZE).start_vpn == MMAP_BASE_VPN
+
+    def test_iteration_sorted(self):
+        a = AddressSpace()
+        a.insert(Vma(500, 1))
+        a.insert(Vma(100, 1))
+        assert [v.start_vpn for v in a] == [100, 500]

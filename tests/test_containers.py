@@ -1,0 +1,178 @@
+"""Tests for the secure-container runtime."""
+
+import pytest
+
+from repro.containers.container import SecureContainer
+from repro.containers.runtime import (
+    BOOT_NS,
+    KVM_NST_CAPACITY,
+    RunDRuntime,
+    RuntimeError_,
+)
+from repro.workloads.apps import blogbench
+
+
+def _noop_workload(machine, ctx, proc, loops: int = 3):
+    for _ in range(loops):
+        machine.syscall(ctx, proc, "get_pid")
+        yield
+
+
+class TestLaunch:
+    def test_launch_boots_container(self):
+        rt = RunDRuntime("pvm (NST)")
+        c = rt.launch()
+        assert c.state == "running"
+        assert c.ctx.clock.now == BOOT_NS
+        assert c.machine.l0_lock is rt.shared_l0
+
+    def test_container_ids_unique(self):
+        rt = RunDRuntime("pvm (NST)")
+        ids = {rt.launch().container_id for _ in range(5)}
+        assert len(ids) == 5
+
+    def test_fleet_shares_l0(self):
+        rt = RunDRuntime("kvm-ept (NST)")
+        fleet = rt.launch_fleet(3)
+        locks = {id(c.machine.l0_lock) for c in fleet}
+        assert len(locks) == 1
+
+    def test_stop(self):
+        rt = RunDRuntime("pvm (BM)")
+        c = rt.launch()
+        c.stop()
+        assert c.state == "stopped"
+        with pytest.raises(RuntimeError):
+            c.run(_noop_workload)
+
+    def test_stop_idempotent(self):
+        rt = RunDRuntime("pvm (BM)")
+        c = rt.launch()
+        c.stop()
+        c.stop()
+
+
+class TestCapacity:
+    def test_kvm_nst_capacity_enforced(self):
+        rt = RunDRuntime("kvm-ept (NST)")
+        rt.containers = [
+            SecureContainer(f"fake-{i}", None, None, None)
+            for i in range(KVM_NST_CAPACITY)
+        ]
+        with pytest.raises(RuntimeError_):
+            rt.launch()
+
+    def test_pvm_has_no_such_limit(self):
+        rt = RunDRuntime("pvm (NST)")
+        rt.containers = [
+            SecureContainer(f"fake-{i}", None, None, None)
+            for i in range(KVM_NST_CAPACITY)
+        ]
+        c = rt.launch()  # fine
+        assert c.state == "running"
+
+    def test_stopped_containers_free_capacity(self):
+        rt = RunDRuntime("kvm-ept (NST)")
+        fake = [
+            SecureContainer(f"fake-{i}", None, None, None)
+            for i in range(KVM_NST_CAPACITY)
+        ]
+        for f in fake:
+            f.state = "stopped"
+        rt.containers = fake
+        assert rt.running_count == 0
+        rt.launch()
+
+
+class TestRunFleet:
+    def test_fleet_results(self):
+        rt = RunDRuntime("pvm (NST)")
+        result = rt.run_fleet(4, _noop_workload, loops=5)
+        assert result.n == 4
+        assert len(result.completions_ns) == 4
+        assert result.makespan_ns >= max(result.completions_ns) - 1
+        # Boot time excluded from reported completions.
+        assert all(c < BOOT_NS for c in result.completions_ns)
+
+    def test_fleet_counters_aggregated(self):
+        rt = RunDRuntime("pvm (NST)")
+        result = rt.run_fleet(2, _noop_workload, loops=2)
+        # Each syscall = 2 direct switches; 2 containers x 2 loops.
+        assert result.counters["world_switches"]["pvm:user<->kernel"] == 8
+
+    def test_fleet_stops_containers(self):
+        rt = RunDRuntime("pvm (NST)")
+        rt.run_fleet(2, _noop_workload)
+        assert rt.running_count == 0
+
+    def test_l0_contention_across_fleet(self):
+        """Nested kvm fleets contend on the shared L0; pvm fleets don't."""
+
+        def faulty(machine, ctx, proc):
+            vma = machine.mmap(ctx, proc, 64 << 10)
+            for vpn in range(vma.start_vpn, vma.end_vpn):
+                machine.touch(ctx, proc, vpn, write=True)
+                yield
+
+        kvm_1 = RunDRuntime("kvm-ept (NST)").run_fleet(1, faulty)
+        kvm_8 = RunDRuntime("kvm-ept (NST)").run_fleet(8, faulty)
+        pvm_1 = RunDRuntime("pvm (NST)").run_fleet(1, faulty)
+        pvm_8 = RunDRuntime("pvm (NST)").run_fleet(8, faulty)
+        assert kvm_8.makespan_ns > 3 * kvm_1.makespan_ns
+        assert pvm_8.makespan_ns < 1.3 * pvm_1.makespan_ns
+
+    def test_real_workload_runs(self):
+        rt = RunDRuntime("pvm (BM)")
+        result = rt.run_fleet(1, blogbench, rounds=5)
+        assert result.makespan_ns > 0
+
+
+class TestCoexistence:
+    """§3: PVM guests co-exist with ordinary VMs on the same host."""
+
+    def test_mixed_fleet_runs(self):
+        from repro.sim.engine import Engine, SimTask
+        from repro.workloads.ops import gen_stepper
+
+        rt = RunDRuntime("pvm (NST)")
+        mixed = [
+            rt.launch("pvm (NST)"),
+            rt.launch("kvm-ept (BM)"),   # an ordinary single-level VM
+            rt.launch("kvm-ept (NST)"),
+        ]
+        engine = Engine()
+        for c in mixed:
+            engine.add(SimTask(name=c.container_id, clock=c.ctx.clock,
+                               stepper=gen_stepper(c.run(_noop_workload))))
+        engine.run()
+        assert all(t.done for t in engine.tasks)
+        # All three share one L0 service.
+        assert len({id(c.machine.l0_lock) for c in mixed}) == 1
+
+    def test_pvm_guest_does_not_tax_neighbours(self):
+        """A fault-heavy PVM guest adds nothing to the shared L0, so an
+        ordinary VM's latency is unaffected by its presence."""
+        def faulty(machine, ctx, proc):
+            vma = machine.mmap(ctx, proc, 256 << 10)
+            for vpn in range(vma.start_vpn, vma.end_vpn):
+                machine.touch(ctx, proc, vpn, write=True)
+                yield
+
+        def run_pair(noisy_scenario):
+            from repro.sim.engine import Engine, SimTask
+            from repro.workloads.ops import gen_stepper
+
+            rt = RunDRuntime("pvm (NST)")
+            victim = rt.launch("kvm-ept (NST)")
+            noisy = rt.launch(noisy_scenario)
+            start = victim.ctx.clock.now  # exclude boot from the measure
+            engine = Engine()
+            for c, wl in ((victim, faulty), (noisy, faulty)):
+                engine.add(SimTask(name=c.container_id, clock=c.ctx.clock,
+                                   stepper=gen_stepper(c.run(wl))))
+            engine.run()
+            return victim.ctx.clock.now - start
+
+        alone_ish = run_pair("pvm (NST)")       # PVM neighbour: no L0 load
+        contended = run_pair("kvm-ept (NST)")   # nested neighbour: L0 load
+        assert contended > 1.2 * alone_ish

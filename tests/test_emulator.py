@@ -1,0 +1,132 @@
+"""Tests for PVM's instruction simulator (§3.3.1)."""
+
+import pytest
+
+from repro.core.emulator import (
+    DecodeError,
+    GuestProtectionFault,
+    Instruction,
+    InstructionEmulator,
+)
+from repro.core.hypervisor import PvmHypervisor
+from repro.core.switcher import GuestWorld
+from repro.hw.costs import DEFAULT_COSTS
+from repro.hw.cpu import SharedIfWord, VCpu
+from repro.hw.events import EventLog
+from repro.hw.types import VirtualRing
+from repro.sim.clock import Clock
+
+
+@pytest.fixture
+def emu():
+    return InstructionEmulator()
+
+
+@pytest.fixture
+def kcpu():
+    """A vCPU logically in the guest kernel (v_ring0)."""
+    return VCpu(cpu_id=0, virtual_ring=VirtualRing.V_RING0,
+                shared_if=SharedIfWord())
+
+
+class TestDecode:
+    def test_mnemonic_and_operands(self, emu):
+        insn = emu.decode("wrmsr 0xc0000082, 0xfff")
+        assert insn == Instruction("wrmsr", ("0xc0000082", "0xfff"))
+
+    def test_no_operands(self, emu):
+        assert emu.decode("hlt") == Instruction("hlt")
+
+    def test_unsupported(self, emu):
+        with pytest.raises(DecodeError):
+            emu.decode("vmlaunch")
+
+    def test_empty(self, emu):
+        with pytest.raises(DecodeError):
+            emu.decode("   ")
+
+    def test_case_insensitive(self, emu):
+        assert emu.decode("HLT").mnemonic == "hlt"
+
+
+class TestPrivilegeModel:
+    def test_user_privileged_raises_gp(self, emu):
+        user = VCpu(cpu_id=0, virtual_ring=VirtualRing.V_RING3)
+        with pytest.raises(GuestProtectionFault):
+            emu.emulate(user, "hlt")
+
+    def test_user_cpuid_allowed(self, emu):
+        user = VCpu(cpu_id=0, virtual_ring=VirtualRing.V_RING3)
+        assert emu.emulate(user, "cpuid 1").effect == "cpuid"
+
+    def test_kernel_privileged_allowed(self, emu, kcpu):
+        assert emu.emulate(kcpu, "hlt").effect == "halt"
+
+
+class TestEffects:
+    def test_cr3_load_and_read(self, emu, kcpu):
+        emu.emulate(kcpu, "mov_to_cr3 0x1234005")
+        assert kcpu.cr3.pcid == 0x5
+        assert kcpu.cr3.root_frame == 0x1234
+        back = emu.emulate(kcpu, "mov_from_cr3")
+        assert back.value == 0x1234005
+
+    def test_cr3_noflush_bit(self, emu, kcpu):
+        emu.emulate(kcpu, f"mov_to_cr3 {1 << 63 | 0x1000}")
+        assert kcpu.cr3.no_flush
+
+    def test_msr_roundtrip(self, emu, kcpu):
+        emu.emulate(kcpu, "wrmsr 0xc0000082, 0xdeadbeef")
+        assert emu.emulate(kcpu, "rdmsr 0xc0000082").value == 0xDEADBEEF
+
+    def test_hlt_halts(self, emu, kcpu):
+        emu.emulate(kcpu, "hlt")
+        assert kcpu.halted
+
+    def test_cli_sti_update_shared_word(self, emu, kcpu):
+        emu.emulate(kcpu, "cli")
+        assert not kcpu.rflags_if
+        assert not kcpu.shared_if.interrupts_enabled
+        emu.emulate(kcpu, "sti")
+        assert kcpu.rflags_if
+        assert kcpu.shared_if.interrupts_enabled
+
+    def test_iret_drops_to_user(self, emu, kcpu):
+        emu.emulate(kcpu, "iret")
+        assert kcpu.virtual_ring is VirtualRing.V_RING3
+        assert kcpu.rflags_if
+
+    def test_cpuid_hypervisor_leaf(self, emu, kcpu):
+        result = emu.emulate(kcpu, "cpuid 0x40000000")
+        assert result.value == 0x50564D21  # 'PVM!'
+
+    def test_emulation_counter(self, emu, kcpu):
+        emu.emulate(kcpu, "hlt")
+        emu.emulate(kcpu, "sti")
+        assert emu.emulated == 2
+
+    def test_bad_operand(self, emu, kcpu):
+        with pytest.raises(DecodeError):
+            emu.emulate(kcpu, "wrmsr notanumber, 5")
+
+
+class TestHypervisorIntegration:
+    def test_trap_and_emulate_applies_state(self):
+        hv = PvmHypervisor(DEFAULT_COSTS, EventLog())
+        hv.switcher.state_for(0).world = GuestWorld.KERNEL
+        vcpu = VCpu(cpu_id=0, virtual_ring=VirtualRing.V_RING0)
+        clock = Clock()
+        result = hv.emulate_privileged(
+            clock, 0, "wrmsr 0x38f, 0x7", vcpu=vcpu
+        )
+        assert result.effect == "msr-write"
+        assert vcpu.read_msr(0x38F) == 0x7
+        assert hv.emulator.emulated == 1
+        assert clock.now == (
+            2 * DEFAULT_COSTS.pvm_world_switch + DEFAULT_COSTS.instr_emulation
+        )
+
+    def test_without_vcpu_still_charges(self):
+        hv = PvmHypervisor(DEFAULT_COSTS, EventLog())
+        hv.switcher.state_for(0).world = GuestWorld.KERNEL
+        assert hv.emulate_privileged(Clock(), 0, "mov_cr4") is None

@@ -1,0 +1,113 @@
+"""Smoke tests of the experiment harness (tiny scales) and reporting."""
+
+import math
+
+import pytest
+
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    fig4,
+    fig10,
+    fig12,
+    table1,
+    table2,
+)
+from repro.bench.harness import (
+    ExperimentResult,
+    measure_concurrent_op_ns,
+    scaled_iterations,
+)
+from repro.bench.report import render
+from repro.workloads.lmbench import null_io
+
+
+class TestExperimentResult:
+    def test_add_and_value(self):
+        r = ExperimentResult("x", "t", columns=["a", "b"])
+        r.add("row", [1.0, 2.0])
+        assert r.value("row", "b") == 2.0
+        with pytest.raises(KeyError):
+            r.value("missing", "a")
+
+    def test_as_dict(self):
+        r = ExperimentResult("x", "t", columns=["a"])
+        r.add("row", [3.0])
+        assert r.as_dict() == {"row": {"a": 3.0}}
+
+
+class TestHarness:
+    def test_scaled_iterations_floor(self):
+        assert scaled_iterations(100, 0.001) == 1
+        assert scaled_iterations(100, 2.0) == 200
+
+    def test_measure_concurrent_shared(self):
+        ns = measure_concurrent_op_ns("pvm (NST)", null_io, n=4,
+                                      iterations=10)
+        assert ns > 0
+
+    def test_measure_concurrent_separate_machines(self):
+        ns = measure_concurrent_op_ns("kvm-ept (NST)", null_io, n=2,
+                                      shared_machine=False, iterations=10)
+        assert ns > 0
+
+    def test_n_validation(self):
+        with pytest.raises(ValueError):
+            measure_concurrent_op_ns("pvm (NST)", null_io, n=0)
+
+
+class TestExperimentRegistry:
+    def test_all_artifacts_present(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "switchcost",  # §2.2 measurements
+            "bootstorm",  # §4.4 concurrent startup
+            "table1", "table2", "fig2", "fig4", "fig10",
+            "table3", "table4", "fig11", "fig12", "fig13",
+        }
+
+
+class TestTinyRuns:
+    def test_table1_structure(self):
+        r = table1(scale=0.02)
+        assert [label for label, _ in r.rows] == [
+            "Hypercall", "Exception", "MSR access", "CPUID", "PIO"]
+        assert len(r.columns) == 8
+
+    def test_table2_direct_switch_rows(self):
+        r = table2(scale=0.02)
+        d = r.as_dict()
+        assert d["pvm (BM) direct-switch"]["kpti"] < d["pvm (BM) none"]["kpti"]
+
+    def test_fig4_tiny(self):
+        r = fig4(scale=0.05, procs=(1, 2))
+        d = r.as_dict()
+        assert d["SPT-EPT"]["2"] > d["EPT"]["2"]
+
+    def test_fig10_tiny_has_all_variants(self):
+        r = fig10(scale=0.05, procs=(1,))
+        labels = [label for label, _ in r.rows]
+        assert "pvm (NST-lock)" in labels
+        assert "pvm (NST-prefault)" in labels
+        assert "pvm (NST-pcid)" in labels
+
+    def test_fig12_crash_marker(self):
+        r = fig12(density=(4, 200), frames=2)
+        d = r.as_dict()
+        assert math.isnan(d["kvm-ept (NST)"]["200"])
+        assert not math.isnan(d["pvm (NST)"]["200"])
+
+
+class TestReport:
+    def test_render_contains_rows(self):
+        r = ExperimentResult("fig0", "demo", columns=["a"], unit="us",
+                             notes="hello")
+        r.add("row1", [1.23])
+        r.add("crash-row", [float("nan")])
+        text = render(r)
+        assert "fig0" in text and "row1" in text
+        assert "crash" in text  # NaN rendered as crash
+        assert "hello" in text
+
+    def test_render_large_values(self):
+        r = ExperimentResult("x", "t", columns=["a"])
+        r.add("big", [123456.0])
+        assert "123.5k" in render(r)

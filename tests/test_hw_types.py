@@ -1,0 +1,121 @@
+"""Unit tests for the hardware vocabulary (repro.hw.types)."""
+
+import pytest
+
+from repro.hw.types import (
+    ENTRIES_PER_TABLE,
+    NUM_PCIDS,
+    PAGE_SIZE,
+    PT_LEVELS,
+    AccessType,
+    Asid,
+    PageFault,
+    PageFaultError,
+    Ring,
+    VirtualRing,
+    page_base,
+    page_number,
+    page_offset,
+    pages_spanned,
+    table_index,
+)
+
+
+class TestPageMath:
+    def test_page_number(self):
+        assert page_number(0) == 0
+        assert page_number(PAGE_SIZE - 1) == 0
+        assert page_number(PAGE_SIZE) == 1
+        assert page_number(10 * PAGE_SIZE + 17) == 10
+
+    def test_page_base(self):
+        assert page_base(PAGE_SIZE + 17) == PAGE_SIZE
+        assert page_base(0) == 0
+
+    def test_page_offset(self):
+        assert page_offset(PAGE_SIZE + 17) == 17
+        assert page_offset(PAGE_SIZE) == 0
+
+    def test_pages_spanned_empty(self):
+        assert pages_spanned(0, 0) == 0
+        assert pages_spanned(100, -5) == 0
+
+    def test_pages_spanned_single(self):
+        assert pages_spanned(0, 1) == 1
+        assert pages_spanned(0, PAGE_SIZE) == 1
+
+    def test_pages_spanned_straddles(self):
+        # One byte into the next page -> two pages.
+        assert pages_spanned(PAGE_SIZE - 1, 2) == 2
+        assert pages_spanned(0, PAGE_SIZE + 1) == 2
+
+    def test_pages_spanned_large(self):
+        assert pages_spanned(0, 4 * PAGE_SIZE) == 4
+
+
+class TestTableIndex:
+    def test_level_bounds(self):
+        with pytest.raises(ValueError):
+            table_index(0, 0)
+        with pytest.raises(ValueError):
+            table_index(0, PT_LEVELS + 1)
+
+    def test_leaf_index(self):
+        assert table_index(0, 1) == 0
+        assert table_index(511, 1) == 511
+        assert table_index(512, 1) == 0
+
+    def test_upper_levels(self):
+        vpn = 512  # second entry at level 2
+        assert table_index(vpn, 2) == 1
+        assert table_index(vpn, 3) == 0
+
+    def test_index_range(self):
+        for level in range(1, PT_LEVELS + 1):
+            assert 0 <= table_index(0xDEADBEEF, level) < ENTRIES_PER_TABLE
+
+
+class TestAsid:
+    def test_valid(self):
+        a = Asid(vpid=1, pcid=3)
+        assert a.vpid == 1 and a.pcid == 3
+
+    def test_negative_vpid(self):
+        with pytest.raises(ValueError):
+            Asid(vpid=-1, pcid=0)
+
+    def test_pcid_range(self):
+        with pytest.raises(ValueError):
+            Asid(vpid=0, pcid=NUM_PCIDS)
+        with pytest.raises(ValueError):
+            Asid(vpid=0, pcid=-1)
+
+    def test_hashable_and_eq(self):
+        assert Asid(1, 2) == Asid(1, 2)
+        assert len({Asid(1, 2), Asid(1, 2), Asid(1, 3)}) == 2
+
+
+class TestFaultDescriptors:
+    def test_protection_flag(self):
+        f = PageFault(vaddr=0x1000, access=AccessType.WRITE,
+                      error=PageFaultError.PRESENT | PageFaultError.WRITE,
+                      level=1)
+        assert f.is_protection
+        assert f.is_write
+
+    def test_miss_fault(self):
+        f = PageFault(vaddr=0x1000, access=AccessType.READ,
+                      error=PageFaultError.USER, level=3)
+        assert not f.is_protection
+        assert not f.is_write
+        assert f.level == 3
+
+
+class TestRings:
+    def test_ring_values(self):
+        assert int(Ring.RING0) == 0
+        assert int(Ring.RING3) == 3
+
+    def test_virtual_rings(self):
+        assert int(VirtualRing.V_RING0) == 0
+        assert int(VirtualRing.V_RING3) == 3

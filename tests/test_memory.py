@@ -1,0 +1,133 @@
+"""Unit tests for physical memory and frame allocation."""
+
+import pytest
+
+from repro.hw.memory import FrameAllocator, FrameRange, PhysicalMemory
+from repro.hw.types import MIB, HardwareError
+
+
+class TestFrameRange:
+    def test_iteration(self):
+        assert list(FrameRange(3, 4)) == [3, 4, 5, 6]
+
+    def test_end(self):
+        assert FrameRange(3, 4).end == 7
+
+
+class TestFirstFit:
+    def test_alloc_from_start(self):
+        a = FrameAllocator(100)
+        r = a.alloc(10)
+        assert (r.start, r.count) == (0, 10)
+        assert a.free_frames == 90
+
+    def test_alloc_contiguous_sequences(self):
+        a = FrameAllocator(100)
+        r1 = a.alloc(10)
+        r2 = a.alloc(10)
+        assert r2.start == r1.end
+
+    def test_exhaustion(self):
+        a = FrameAllocator(4)
+        a.alloc(4)
+        with pytest.raises(MemoryError):
+            a.alloc_frame()
+
+    def test_free_and_reuse(self):
+        a = FrameAllocator(16)
+        r = a.alloc(8)
+        a.free(r)
+        assert a.free_frames == 16
+        r2 = a.alloc(8)
+        assert r2.start == 0  # first-fit reuses immediately
+
+    def test_coalescing(self):
+        a = FrameAllocator(16)
+        r1 = a.alloc(4)
+        r2 = a.alloc(4)
+        r3 = a.alloc(4)
+        a.free(r1)
+        a.free(r3)
+        a.free(r2)  # middle free merges all three with the tail
+        assert a.alloc(16).count == 16
+
+    def test_double_free_rejected(self):
+        a = FrameAllocator(8)
+        r = a.alloc(2)
+        a.free(r)
+        with pytest.raises(HardwareError):
+            a.free(r)
+
+    def test_invalid_count(self):
+        a = FrameAllocator(8)
+        with pytest.raises(ValueError):
+            a.alloc(0)
+
+    def test_owner_tags(self):
+        a = FrameAllocator(8)
+        f = a.alloc_frame(tag="pt:test")
+        assert a.owner_of(f) == "pt:test"
+        assert a.frames_tagged("pt:test") == {f}
+        a.free_frame(f)
+        assert a.owner_of(f) is None
+
+    def test_usage_by_tag(self):
+        a = FrameAllocator(16)
+        a.alloc(3, tag="x")
+        a.alloc(2, tag="y")
+        assert a.usage_by_tag() == {"x": 3, "y": 2}
+
+
+class TestStreamPolicy:
+    def test_prefers_fresh_frames(self):
+        a = FrameAllocator(8, policy="stream")
+        f1 = a.alloc_frame()
+        a.free_frame(f1)
+        f2 = a.alloc_frame()
+        # Fresh pool preferred: the freed frame is NOT reused.
+        assert f2 != f1
+
+    def test_recycles_fifo_when_exhausted(self):
+        a = FrameAllocator(4, policy="stream")
+        frames = [a.alloc_frame() for _ in range(4)]
+        a.free_frame(frames[2])
+        a.free_frame(frames[0])
+        assert a.alloc_frame() == frames[2]  # oldest freed first
+        assert a.alloc_frame() == frames[0]
+
+    def test_free_counts_include_recycled(self):
+        a = FrameAllocator(4, policy="stream")
+        f = a.alloc_frame()
+        a.free_frame(f)
+        assert a.free_frames == 4
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            FrameAllocator(4, policy="lifo")
+
+    def test_stream_exhaustion_raises(self):
+        a = FrameAllocator(2, policy="stream")
+        a.alloc_frame()
+        a.alloc_frame()
+        with pytest.raises(MemoryError):
+            a.alloc_frame()
+
+
+class TestPhysicalMemory:
+    def test_frame_counts(self):
+        pm = PhysicalMemory("t", size_bytes=1 * MIB)
+        assert pm.total_frames == 256
+        f = pm.alloc_frame()
+        assert pm.free_frames == 255
+        pm.free_frame(f)
+        assert pm.free_frames == 256
+
+    def test_unaligned_size_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory("t", size_bytes=1 * MIB + 1)
+
+    def test_policy_forwarded(self):
+        pm = PhysicalMemory("t", size_bytes=1 * MIB, policy="stream")
+        f = pm.alloc_frame()
+        pm.free_frame(f)
+        assert pm.alloc_frame() != f

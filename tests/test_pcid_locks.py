@@ -1,0 +1,120 @@
+"""Unit tests for PCID mapping (§3.3.2) and the fine-grained SPT locks."""
+
+import pytest
+
+from repro.core.pcid import PcidMapper
+from repro.core.sptlocks import SptLockManager
+from repro.hw.costs import DEFAULT_COSTS
+from repro.hw.types import (
+    PVM_GUEST_KERNEL_PCID_BASE,
+    PVM_GUEST_PCIDS_PER_CLASS,
+    PVM_GUEST_USER_PCID_BASE,
+)
+from repro.sim.clock import Clock
+
+
+class TestPcidMapper:
+    def test_windows(self):
+        m = PcidMapper(vpid=1)
+        k = m.asid_for(guest_pcid=3, kernel_half=True)
+        u = m.asid_for(guest_pcid=3, kernel_half=False)
+        assert PVM_GUEST_KERNEL_PCID_BASE <= k.pcid < (
+            PVM_GUEST_KERNEL_PCID_BASE + PVM_GUEST_PCIDS_PER_CLASS)
+        assert PVM_GUEST_USER_PCID_BASE <= u.pcid < (
+            PVM_GUEST_USER_PCID_BASE + PVM_GUEST_PCIDS_PER_CLASS)
+        assert k.pcid != u.pcid
+
+    def test_stable_mapping(self):
+        m = PcidMapper(vpid=1)
+        a1 = m.asid_for(5, False)
+        a2 = m.asid_for(5, False)
+        assert a1 == a2
+
+    def test_distinct_processes_distinct_pcids(self):
+        m = PcidMapper(vpid=1)
+        pcids = {m.asid_for(i, False).pcid for i in range(8)}
+        assert len(pcids) == 8
+
+    def test_disabled_collapses_to_zero(self):
+        m = PcidMapper(vpid=1, enabled=False)
+        assert m.asid_for(5, False).pcid == 0
+        assert m.asid_for(9, True).pcid == 0
+
+    def test_window_recycling_lru(self):
+        m = PcidMapper(vpid=1)
+        # Fill the user window.
+        first = m.asid_for(0, False).pcid
+        for i in range(1, PVM_GUEST_PCIDS_PER_CLASS):
+            m.asid_for(i, False)
+        # Touch pcid 0 so it is no longer LRU.
+        m.asid_for(0, False)
+        # Overflow: steals the LRU (guest pcid 1), not 0.
+        stolen = m.asid_for(PVM_GUEST_PCIDS_PER_CLASS, False).pcid
+        assert m.recycled == 1
+        assert m.asid_for(0, False).pcid == first
+
+    def test_live_mappings(self):
+        m = PcidMapper(vpid=1)
+        m.asid_for(1, True)
+        m.asid_for(1, False)
+        assert m.live_mappings == 2
+
+
+class TestSptLockManager:
+    def test_fine_grained_parallel_across_keys(self):
+        locks = SptLockManager(DEFAULT_COSTS, fine_grained=True)
+        c1, c2 = Clock(), Clock()
+        locks.locked_fix(c1, pt_key="a", gfn=1, work_ns=1000)
+        locks.locked_fix(c2, pt_key="b", gfn=2, work_ns=1000)
+        # Different keys: no cross-waiting (identical finish times).
+        assert c1.now == c2.now
+
+    def test_fine_grained_contends_same_key(self):
+        locks = SptLockManager(DEFAULT_COSTS, fine_grained=True)
+        c1, c2 = Clock(), Clock()
+        locks.locked_fix(c1, pt_key="a", gfn=1, work_ns=1000)
+        locks.locked_fix(c2, pt_key="a", gfn=1, work_ns=1000)
+        assert c2.now > c1.now  # waited on pt/rmap locks
+
+    def test_global_serializes_everything(self):
+        locks = SptLockManager(DEFAULT_COSTS, fine_grained=False)
+        c1, c2 = Clock(), Clock()
+        locks.locked_fix(c1, pt_key="a", gfn=1, work_ns=1000)
+        locks.locked_fix(c2, pt_key="b", gfn=2, work_ns=1000)
+        assert c2.now > c1.now  # mmu_lock is global
+
+    def test_global_holds_work_inside_lock(self):
+        locks = SptLockManager(DEFAULT_COSTS, fine_grained=False)
+        c = Clock()
+        locks.locked_fix(c, "a", 1, work_ns=1000)
+        assert locks.mmu_lock.total_hold_ns == (
+            DEFAULT_COSTS.mmu_lock_hold + 1000)
+
+    def test_fine_grained_work_outside_locks(self):
+        locks = SptLockManager(DEFAULT_COSTS, fine_grained=True)
+        c = Clock()
+        locks.locked_fix(c, "a", 1, work_ns=1000)
+        # Held time is only the short critical sections.
+        held = (locks.pt_locks.get("a").total_hold_ns
+                + locks.rmap_locks.get(1).total_hold_ns)
+        assert held == 2 * DEFAULT_COSTS.finegrained_lock_hold
+
+    def test_meta_lock_only_for_structural(self):
+        locks = SptLockManager(DEFAULT_COSTS, fine_grained=True)
+        locks.locked_fix(Clock(), "a", 1, work_ns=0, structural=False)
+        assert locks.meta_lock.acquisitions == 0
+        locks.locked_fix(Clock(), "a", 1, work_ns=0, structural=True)
+        assert locks.meta_lock.acquisitions == 1
+
+    def test_negative_work_rejected(self):
+        locks = SptLockManager(DEFAULT_COSTS)
+        with pytest.raises(ValueError):
+            locks.locked_fix(Clock(), "a", 1, work_ns=-5)
+
+    def test_aggregates_and_reset(self):
+        locks = SptLockManager(DEFAULT_COSTS, fine_grained=True)
+        locks.locked_fix(Clock(), "a", 1, work_ns=10, structural=True)
+        assert locks.acquisitions == 3  # meta + pt + rmap
+        locks.reset()
+        assert locks.acquisitions == 0
+        assert locks.total_wait_ns == 0
