@@ -30,7 +30,8 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "experiments", nargs="*",
         help="experiment ids (table1, table2, fig2, fig4, fig10, table3, "
-             "table4, fig11, fig12, fig13) or 'all'",
+             "table4, fig11, fig12, fig13) or 'all'; 'wallclock' runs the "
+             "simulator-throughput microbenchmark",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument(
@@ -45,7 +46,20 @@ def main(argv: List[str] = None) -> int:
         "--json", action="store_true", dest="as_json",
         help="emit machine-readable JSON instead of tables",
     )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="(wallclock only) rewrite BENCH_walk.json from this run",
+    )
     args = parser.parse_args(argv)
+
+    if "wallclock" in args.experiments:
+        # Simulator-throughput benchmark: separate driver, separate
+        # output contract (one-line summary + baseline gate).
+        from repro.bench.wallclock import run_wallclock
+
+        return run_wallclock(
+            scale=args.scale, update_baseline=args.update_baseline
+        )
 
     if args.list or not args.experiments:
         for exp_id, fn in ALL_EXPERIMENTS.items():

@@ -70,6 +70,7 @@ def measure_concurrent_op_ns(
     n: int,
     config: Optional[MachineConfig] = None,
     shared_machine: bool = True,
+    reset_stats: bool = False,
     **params,
 ) -> float:
     """Mean per-iteration latency with ``n`` concurrent instances.
@@ -77,7 +78,9 @@ def measure_concurrent_op_ns(
     Setup portions (everything before a factory's first yield) run
     outside the timed window.  ``shared_machine`` puts all instances in
     one guest (the Table 3/4 "#C 32" configuration); otherwise each
-    instance gets its own machine over a shared L0.
+    instance gets its own machine over a shared L0.  ``reset_stats``
+    zeroes every machine's counters (events, TLB, PSC) at the barrier so
+    reported hit rates cover only the measured phase.
     """
     if n < 1:
         raise ValueError("n must be >= 1")
@@ -111,6 +114,11 @@ def measure_concurrent_op_ns(
     for task, ctx in staged:
         ctx.clock.advance_to(barrier)
         measured.append((task, barrier))
+    if reset_stats:
+        from repro.sim.stats import reset_phase_stats
+
+        for machine in machines[:1] if shared_machine else machines:
+            reset_phase_stats(machine)
     engine.run()
     total_ns = 0
     total_steps = 0

@@ -1,0 +1,371 @@
+"""Wall-clock throughput microbenchmarks for the simulator itself.
+
+Virtual-time experiments measure the *modeled* system; this module
+measures the *simulator* — translations per wall-clock second through
+the MMU hot path, page-walk throughput on TLB-miss-heavy working sets,
+and end-to-end fault service throughput on a full PVM machine — so
+every PR leaves a perf trajectory behind in ``BENCH_walk.json``.
+
+To make speedups attributable rather than folklore, the legacy TLB
+design this PR replaced (two ``OrderedDict``s keyed by ``(Asid, vpn)``
+tuples of frozen dataclasses, no ``__slots__`` entries) is kept here as
+``_LegacyTlb`` and driven through the same access sequence in the same
+run; ``speedup_vs_legacy`` is therefore measured on identical hardware
+under identical interpreter state, not against a stale recorded number.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.hw.costs import DEFAULT_COSTS
+from repro.hw.events import EventLog
+from repro.hw.memory import PhysicalMemory
+from repro.hw.mmu import Mmu
+from repro.hw.pagetable import PageTable, Pte
+from repro.hw.psc import PagingStructureCache
+from repro.hw.tlb import HUGE_SPAN, Tlb
+from repro.hw.types import MIB, PAGE_SIZE, AccessType, Asid
+from repro.sim.clock import Clock
+
+#: The perf-trajectory file, checked in at the repo root.
+BASELINE_PATH = Path(__file__).resolve().parents[3] / "BENCH_walk.json"
+
+#: Allowed wall-clock slowdown versus the checked-in baseline before the
+#: regression gate trips (wall time is noisy; virtual time is exact).
+REGRESSION_TOLERANCE = 0.20
+
+#: Metrics gated against the baseline (higher is better).  Same-run
+#: ratios are held to ``REGRESSION_TOLERANCE``; absolute ``*_per_sec``
+#: rates get the looser ``ABSOLUTE_TOLERANCE`` — see ``check_regressions``.
+GATED_METRICS = (
+    "speedup_vs_legacy",
+    "miss_psc_hit_rate",
+    "warm_translations_per_sec",
+    "miss_walks_per_sec",
+    "faults_per_sec",
+)
+
+#: Tolerance for absolute wall-clock rates.  Shared hosts show ±30%
+#: phase-to-phase load swings that no repeat count irons out, so the
+#: absolute gates are sized to catch 2x-class implementation regressions
+#: while the tight gate rides on the load-immune same-run ratios.
+ABSOLUTE_TOLERANCE = 0.50
+
+#: Timed repetitions per phase; the best (minimum elapsed) repetition is
+#: reported, approximating the noise-free rate on a shared host.
+REPEATS = 3
+
+
+def _best_elapsed(loop, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        loop()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# The pre-PR TLB design, preserved for same-run comparison
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _LegacyTlbEntry:
+    """Seed-era entry: a plain dataclass without ``__slots__``."""
+
+    frame: int
+    global_: bool = False
+    huge: bool = False
+
+
+class _LegacyTlb:
+    """The seed TLB: two OrderedDicts keyed by (Asid, vpn) tuples."""
+
+    def __init__(self, capacity: int = 1536) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[Asid, int], _LegacyTlbEntry]" = (
+            OrderedDict()
+        )
+        self._huge: "OrderedDict[Tuple[Asid, int], _LegacyTlbEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries) + len(self._huge)
+
+    def lookup(self, asid: Asid, vpn: int) -> Optional[int]:
+        entry = self._entries.get((asid, vpn))
+        if entry is not None:
+            return entry.frame
+        huge = self._huge.get((asid, vpn >> 9))
+        if huge is not None:
+            return huge.frame + (vpn % HUGE_SPAN)
+        return None
+
+    def insert(self, asid: Asid, vpn: int, frame: int, huge: bool = False) -> None:
+        if huge:
+            key = (asid, vpn >> 9)
+            self._huge[key] = _LegacyTlbEntry(
+                frame=frame - (vpn % HUGE_SPAN), huge=True
+            )
+            self._huge.move_to_end(key)
+            return
+        key = (asid, vpn)
+        if key not in self._entries and len(self) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[key] = _LegacyTlbEntry(frame=frame)
+        self._entries.move_to_end(key)
+
+
+def _legacy_access_1d(
+    clock: Clock,
+    tlb: _LegacyTlb,
+    asid: Asid,
+    pt: PageTable,
+    vpn: int,
+    access: AccessType,
+    user: bool,
+) -> int:
+    """The seed ``Mmu.access_1d`` body over the legacy TLB."""
+    cached = tlb.lookup(asid, vpn)
+    if cached is not None:
+        clock.advance(DEFAULT_COSTS.tlb_hit)
+        return cached
+    result = pt.walk(vpn, access, user)
+    clock.advance(pt.levels * DEFAULT_COSTS.walk_step_1d)
+    tlb.insert(asid, vpn, result.frame, huge=result.huge)
+    return result.frame
+
+
+# ---------------------------------------------------------------------------
+# Benchmark phases
+# ---------------------------------------------------------------------------
+
+
+def _mapped_table(npages: int) -> PageTable:
+    phys = PhysicalMemory("bench", 64 * MIB)
+    pt = PageTable(phys, "bench-pt")
+    for vpn in range(npages):
+        pt.map(vpn, Pte(frame=vpn + 0x1000))
+    return pt
+
+
+def bench_warm_translations(iters: int, working_set: int = 512) -> Dict[str, float]:
+    """Warm-TLB hot loop: every access is a TLB hit (the common case any
+    translation-bound simulation spends its wall clock in).  Returns the
+    packed-key and legacy throughputs measured back to back."""
+    pt = _mapped_table(working_set)
+    asid = Asid(vpid=1, pcid=3)
+    access = AccessType.READ
+    seq = list(range(working_set))
+
+    mmu = Mmu(Tlb(), EventLog(), DEFAULT_COSTS)
+    clock = Clock()
+    for vpn in seq:  # warm fill
+        mmu.access_1d(clock, asid, pt, vpn, access, True)
+
+    def new_loop() -> None:
+        for _ in range(iters):
+            for vpn in seq:
+                mmu.access_1d(clock, asid, pt, vpn, access, True)
+
+    legacy_tlb = _LegacyTlb()
+    legacy_clock = Clock()
+    for vpn in seq:
+        _legacy_access_1d(legacy_clock, legacy_tlb, asid, pt, vpn, access, True)
+
+    def legacy_loop() -> None:
+        for _ in range(iters):
+            for vpn in seq:
+                _legacy_access_1d(
+                    legacy_clock, legacy_tlb, asid, pt, vpn, access, True
+                )
+
+    # Interleave the repetitions so both implementations sample the same
+    # load windows — back-to-back blocks make the speedup ratio hostage
+    # to whatever else the host was doing during one of them.
+    new_dt = legacy_dt = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        new_loop()
+        new_dt = min(new_dt, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        legacy_loop()
+        legacy_dt = min(legacy_dt, time.perf_counter() - t0)
+
+    ops = iters * working_set
+    return {
+        "warm_translations_per_sec": ops / new_dt,
+        "legacy_translations_per_sec": ops / legacy_dt,
+        "speedup_vs_legacy": legacy_dt / new_dt,
+    }
+
+
+def bench_miss_walks(iters: int, working_set: int = 4096) -> Dict[str, float]:
+    """TLB-miss-heavy loop: the working set is ~3x TLB capacity, so the
+    sequential sweep thrashes the TLB and every pass re-walks.  Runs
+    with paging-structure caches attached — the partial-walk fast path —
+    and reports the PSC hit rate alongside throughput."""
+    pt = _mapped_table(working_set)
+    asid = Asid(vpid=1, pcid=3)
+    access = AccessType.READ
+    mmu = Mmu(Tlb(), EventLog(), DEFAULT_COSTS, psc=PagingStructureCache())
+    clock = Clock()
+    seq = list(range(working_set))
+    for vpn in seq:  # fill PSCs / steady-state the TLB
+        mmu.access_1d(clock, asid, pt, vpn, access, True)
+    psc_stats = mmu.psc.stats
+    psc_stats.reset()
+    mmu.tlb.stats.reset()
+
+    def miss_loop() -> None:
+        for _ in range(iters):
+            for vpn in seq:
+                mmu.access_1d(clock, asid, pt, vpn, access, True)
+
+    dt = _best_elapsed(miss_loop)
+    ops = iters * working_set
+    return {
+        "miss_walks_per_sec": ops / dt,
+        "miss_psc_hit_rate": psc_stats.hit_rate,
+        "miss_tlb_hit_rate": mmu.tlb.stats.hit_rate,
+    }
+
+
+def bench_faults(npages: int) -> Dict[str, float]:
+    """End-to-end fault service on a full PVM (BM) machine: mmap a fresh
+    region and demand-fault every page (two-phase shadow fault dance per
+    page) — the simulator's heaviest per-operation path."""
+    from repro import make_machine
+    from repro.hypervisors.base import MachineConfig
+
+    best = float("inf")
+    for _ in range(REPEATS):  # fresh machine per repeat: cold faults only
+        machine = make_machine("pvm (BM)", config=MachineConfig(psc=True))
+        ctx = machine.new_context()
+        proc = machine.spawn_process()
+        vma = machine.mmap(ctx, proc, npages * PAGE_SIZE)
+        t0 = time.perf_counter()
+        for vpn in range(vma.start_vpn, vma.start_vpn + npages):
+            machine.touch(ctx, proc, vpn, write=True)
+        best = min(best, time.perf_counter() - t0)
+    return {"faults_per_sec": npages / best}
+
+
+def run_benchmarks(scale: float = 1.0) -> Dict[str, float]:
+    """Run all phases; ``scale`` multiplies iteration counts."""
+    results: Dict[str, float] = {}
+    results.update(bench_warm_translations(iters=max(1, int(120 * scale))))
+    results.update(bench_miss_walks(iters=max(1, int(12 * scale))))
+    results.update(bench_faults(npages=max(64, int(3000 * scale))))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Baseline gate
+# ---------------------------------------------------------------------------
+
+
+def load_baseline(path: Path = BASELINE_PATH) -> Optional[Dict]:
+    """The checked-in baseline, or None when absent."""
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def write_baseline(results: Dict[str, float], path: Path = BASELINE_PATH) -> None:
+    """Rewrite the checked-in baseline from this run."""
+    payload = {
+        "generated_by": "python -m repro.bench.cli wallclock --update-baseline",
+        "schema": 1,
+        "results": {k: round(v, 2) for k, v in sorted(results.items())},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def check_regressions(
+    results: Dict[str, float],
+    baseline: Dict,
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> List[str]:
+    """Gated metrics that fell below their tolerance versus baseline.
+
+    Same-run ratios (``speedup_vs_legacy``, ``miss_psc_hit_rate``) are
+    immune to host load — both sides of the ratio slow down together —
+    so they carry the tight ``tolerance``.  Absolute ``*_per_sec`` rates
+    move with whatever else the machine is running and are held to the
+    looser :data:`ABSOLUTE_TOLERANCE`; the legacy loop additionally
+    serves as a host-speed probe, waiving absolute shortfalls outright
+    when the untouched legacy code slowed past tolerance too.
+    """
+    failures = []
+    base = baseline.get("results", {})
+    ref_legacy = base.get("legacy_translations_per_sec")
+    cur_legacy = results.get("legacy_translations_per_sec")
+    host_slow = bool(
+        ref_legacy and cur_legacy and cur_legacy < ref_legacy * (1.0 - tolerance)
+    )
+    for metric in GATED_METRICS:
+        ref = base.get(metric)
+        if not ref:
+            continue
+        absolute = metric.endswith("_per_sec")
+        tol = max(tolerance, ABSOLUTE_TOLERANCE) if absolute else tolerance
+        cur = results.get(metric, 0.0)
+        if cur < ref * (1.0 - tol):
+            if absolute and host_slow:
+                continue  # legacy slowed identically: load, not a regression
+            failures.append(
+                f"{metric}: {cur:,.2f} is {1 - cur / ref:.0%} below "
+                f"baseline {ref:,.2f}"
+            )
+    return failures
+
+
+def summary_line(results: Dict[str, float]) -> str:
+    """The one-line human summary the CLI prints."""
+    return (
+        f"wallclock: {results['warm_translations_per_sec'] / 1e6:.2f}M warm "
+        f"trans/s ({results['speedup_vs_legacy']:.2f}x vs legacy), "
+        f"{results['miss_walks_per_sec'] / 1e3:.0f}k miss-walks/s "
+        f"(psc hit {results['miss_psc_hit_rate']:.0%}), "
+        f"{results['faults_per_sec'] / 1e3:.1f}k faults/s"
+    )
+
+
+def run_wallclock(
+    scale: float = 1.0,
+    update_baseline: bool = False,
+    path: Path = BASELINE_PATH,
+) -> int:
+    """CLI driver: run, print one line, gate against the baseline.
+
+    Returns a process exit code (1 on regression beyond tolerance).
+    """
+    results = run_benchmarks(scale=scale)
+    print(summary_line(results))
+    if update_baseline:
+        write_baseline(results, path)
+        print(f"baseline updated: {path}")
+        return 0
+    if scale != 1.0:
+        # Short runs under-amortize setup; comparing them against the
+        # full-scale baseline produces spurious regressions.
+        print(f"note: gate skipped (scale {scale:g} != 1.0, baseline is full-scale)")
+        return 0
+    baseline = load_baseline(path)
+    if baseline is None:
+        write_baseline(results, path)
+        print(f"no baseline found; wrote {path}")
+        return 0
+    failures = check_regressions(results, baseline)
+    for failure in failures:
+        print(f"REGRESSION {failure}")
+    if not failures:
+        print(f"ok: within {REGRESSION_TOLERANCE:.0%} of baseline ({path.name})")
+    return 1 if failures else 0

@@ -72,7 +72,7 @@ class PvmMachine(Machine):
 
     def _flush_on_cr3_load(self, clock, cpu_id: int) -> None:
         if cpu_id < len(self.contexts):
-            self.contexts[cpu_id].tlb.flush_vpid(self.vpid)
+            self.contexts[cpu_id].mmu.drop_vpid(self.vpid)
         clock.advance(self.costs.tlb_flush_op + self.costs.tlb_vpid_flush_extra)
         self.events.tlb_flush("cr3-load")
 
@@ -333,7 +333,7 @@ class PvmMachine(Machine):
         for other in self.contexts:
             if other is ctx:
                 continue
-            other.tlb.flush_vpid(self.vpid)
+            other.mmu.drop_vpid(self.vpid)
             ctx.clock.advance(self.costs.tlb_shootdown_ipi)
         self.events.tlb_flush("vpid-broadcast")
 

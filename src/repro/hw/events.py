@@ -92,6 +92,10 @@ class EventLog:
         self.hypercalls = Counter("hypercalls")
         self.injections = Counter("injections")
         self.tlb_flushes = Counter("tlb_flushes")
+        #: Paging-structure-cache probe outcomes ("hit"/"miss" for the
+        #: per-level walk caches, "gpa-hit"/"gpa-miss" for the combined
+        #: guest-physical translation cache used by nested walks).
+        self.psc_probes = Counter("psc_probes")
         self.interrupts = Counter("interrupts")
         self.lock_wait_ns = Counter("lock_wait_ns")
         self.emulations = Counter("emulations")
@@ -136,6 +140,10 @@ class EventLog:
         """Record one TLB flush by granularity."""
         self.tlb_flushes.add(1, key=granularity)
 
+    def psc_event(self, kind: str) -> None:
+        """Record one paging-structure-cache probe outcome by kind."""
+        self.psc_probes.add(1, key=kind)
+
     def interrupt(self, vector: str) -> None:
         """Record one delivered interrupt."""
         self.interrupts.add(1, key=vector)
@@ -174,6 +182,7 @@ class EventLog:
             self.hypercalls,
             self.injections,
             self.tlb_flushes,
+            self.psc_probes,
             self.interrupts,
             self.lock_wait_ns,
             self.emulations,

@@ -34,7 +34,7 @@ from repro.hw.types import (
 HUGE_PAGE_PAGES = 512
 
 
-@dataclass
+@dataclass(slots=True)
 class Pte:
     """A leaf page-table entry mapping one virtual page to one frame.
 
@@ -90,20 +90,37 @@ class PageTableNode:
         return f"<PTNode L{self.level} frame={self.frame:#x} n={len(self.entries)}>"
 
 
-@dataclass(frozen=True)
 class WalkResult:
-    """Successful translation of a virtual page."""
+    """Successful translation of a virtual page.
 
-    frame: int
-    pte: Pte
-    #: Frames of the table nodes visited root-to-leaf (for write-protect
-    #: bookkeeping and for charging per-level walk costs).
-    node_frames: Tuple[int, ...]
-    #: True when the translation came from a 2 MiB (level-2) mapping.
-    huge: bool = False
+    ``nodes`` holds the table nodes actually visited, top-down; a walk
+    resumed from a paging-structure-cache hit starts below the root, so
+    ``levels_walked == len(nodes)`` is the number of table reads the
+    hardware performed (and the number of levels the MMU charges for).
+    """
+
+    __slots__ = ("frame", "pte", "nodes", "huge", "levels_walked")
+
+    def __init__(
+        self,
+        frame: int,
+        pte: Pte,
+        nodes: Tuple["PageTableNode", ...],
+        huge: bool = False,
+    ) -> None:
+        self.frame = frame
+        self.pte = pte
+        self.nodes = nodes
+        self.huge = huge
+        self.levels_walked = len(nodes)
+
+    @property
+    def node_frames(self) -> Tuple[int, ...]:
+        """Frames of the table nodes visited (for write-protect checks)."""
+        return tuple(node.frame for node in self.nodes)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MapResult:
     """Outcome of a map operation.
 
@@ -134,6 +151,10 @@ class PageTable:
         tests can exercise the level-dependent formulas.
     """
 
+    #: Monotonic source of table identities for paging-structure-cache
+    #: tags (see :attr:`uid`).
+    _next_uid = 0
+
     def __init__(
         self,
         phys: PhysicalMemory,
@@ -145,6 +166,15 @@ class PageTable:
         self.phys = phys
         self.name = name
         self.levels = levels
+        #: Identity tag binding cached intermediate-walk entries to this
+        #: table instance (a recycled root frame must not revive another
+        #: table's cached nodes).
+        self.uid = PageTable._next_uid
+        PageTable._next_uid += 1
+        #: Bumped whenever table nodes are freed (unmap pruning, destroy,
+        #: release); paging-structure caches validate their cached node
+        #: references against it so a stale node can never be resumed.
+        self.epoch = 0
         self.root = PageTableNode(levels, phys.alloc_frame(tag=f"pt:{name}"))
         #: Total leaf mappings currently installed.
         self.mapped_pages = 0
@@ -275,6 +305,7 @@ class PageTable:
             if child.entries:
                 break
             self.phys.free_frame(child.frame)
+            self.epoch += 1
             self._write_entry(parent, pidx, None)
             child = parent
         return pte
@@ -337,6 +368,7 @@ class PageTable:
             if child.entries:
                 break
             self.phys.free_frame(child.frame)
+            self.epoch += 1
             self._write_entry(parent, pidx, None)
             child = parent
         return pte
@@ -376,15 +408,26 @@ class PageTable:
 
     # -- walking -------------------------------------------------------
 
-    def walk(self, vpn: int, access: AccessType, user: bool) -> WalkResult:
+    def walk(
+        self,
+        vpn: int,
+        access: AccessType,
+        user: bool,
+        start: Optional[PageTableNode] = None,
+    ) -> WalkResult:
         """Translate ``vpn`` or raise :class:`PageFaultException`.
 
         The raised fault records the level at which the walk stopped,
         which the fault handlers use to size their fix-up work.
+
+        ``start`` resumes the walk below the root from a cached
+        intermediate node (a paging-structure-cache hit); the result's
+        ``levels_walked`` then counts only the levels actually read, so
+        charged cost and data-structure work agree.
         """
-        node = self.root
-        node_frames: List[int] = [node.frame]
-        for level in range(self.levels, 1, -1):
+        node = self.root if start is None else start
+        nodes: List[PageTableNode] = [node]
+        for level in range(node.level, 1, -1):
             child = node.entries.get(table_index(vpn, level))
             if isinstance(child, Pte) and child.huge and level == 2:
                 if not child.permits(access, user):
@@ -397,14 +440,14 @@ class PageTable:
                 offset = vpn % HUGE_PAGE_PAGES
                 return WalkResult(
                     frame=child.frame + offset, pte=child,
-                    node_frames=tuple(node_frames), huge=True,
+                    nodes=tuple(nodes), huge=True,
                 )
             if not isinstance(child, PageTableNode):
                 raise PageFaultException(
                     self._fault(vpn, access, user, present=False, level=level)
                 )
             node = child
-            node_frames.append(node.frame)
+            nodes.append(node)
         pte = node.entries.get(table_index(vpn, 1))
         if not isinstance(pte, Pte):
             raise PageFaultException(
@@ -417,7 +460,7 @@ class PageTable:
         pte.accessed = True
         if access is AccessType.WRITE:
             pte.dirty = True
-        return WalkResult(frame=pte.frame, pte=pte, node_frames=tuple(node_frames))
+        return WalkResult(frame=pte.frame, pte=pte, nodes=tuple(nodes))
 
     # -- iteration / teardown -------------------------------------------
 
@@ -449,6 +492,7 @@ class PageTable:
         """
         for frame in self.node_frames():
             self.phys.free_frame(frame)
+        self.epoch += 1
         self.root = PageTableNode(self.levels, self.phys.alloc_frame(tag=f"pt:{self.name}"))
         self.mapped_pages = 0
 
@@ -458,6 +502,7 @@ class PageTable:
         The table is unusable afterwards; any access raises."""
         for frame in self.node_frames():
             self.phys.free_frame(frame)
+        self.epoch += 1
         self.root = PageTableNode(self.levels, frame=-1)
         self.mapped_pages = 0
 

@@ -6,15 +6,20 @@ guest without its own PCID window can only be flushed at the coarser
 VPID granularity, wiping every process's entries.  This module models
 exactly that hierarchy so the optimization's effect is emergent, not
 assumed.
+
+Entries are stored in one insertion-ordered dict keyed by packed ints
+(``tagged-asid << 56 | vpn``); packing the (VPID, PCID) pair into the
+key makes the hot-path lookup a single int hash instead of hashing a
+tuple holding a frozen dataclass, which is where translation-bound
+simulations spend their time.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional
 
-from repro.hw.types import Asid
+from repro.hw.types import Asid, PCID_BITS
 
 
 @dataclass
@@ -29,6 +34,10 @@ class TlbStats:
     flushes_vpid: int = 0
     flushes_pcid: int = 0
     flushes_page: int = 0
+    #: Page-granular flushes that landed inside a 2 MiB entry's run and
+    #: therefore dropped the whole huge entry (512 pages of reach lost
+    #: to one INVLPG — the hidden cost of huge TLB entries).
+    flushes_huge_demotions: int = 0
     entries_flushed: int = 0
 
     @property
@@ -47,7 +56,7 @@ class TlbStats:
             setattr(self, name, 0)
 
 
-@dataclass
+@dataclass(slots=True)
 class TlbEntry:
     """One cached translation (4K or 2 MiB)."""
     frame: int
@@ -57,6 +66,26 @@ class TlbEntry:
 
 #: Pages per huge TLB entry (2 MiB / 4 KiB).
 HUGE_SPAN = 512
+
+#: Key layout: ``(asid_key << 1 | huge?) << 56 | vpn``.  57-bit (LA57)
+#: virtual addresses give 45-bit vpns; 56 bits of vpn space keeps the
+#: packing future-proof without ever colliding tags.  The constants are
+#: public because the MMU inlines the probe on its hot path.
+KEY_SHIFT = 57
+HUGE_TAG = 1 << 56  # placed just above the vpn field
+
+
+def _key4k(akey: int, vpn: int) -> int:
+    return (akey << KEY_SHIFT) | vpn
+
+
+def _keyhuge(akey: int, vpn: int) -> int:
+    return (akey << KEY_SHIFT) | HUGE_TAG | (vpn >> 9)
+
+
+def _key_akey(key: int) -> int:
+    """Recover the packed ASID from an entry key."""
+    return key >> KEY_SHIFT
 
 
 class Tlb:
@@ -69,29 +98,37 @@ class Tlb:
     TLB) are only removed by a full flush.
     """
 
+    __slots__ = ("capacity", "_entries", "stats")
+
     def __init__(self, capacity: int = 1536) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self._entries: "OrderedDict[Tuple[Asid, int], TlbEntry]" = OrderedDict()
-        self._huge: "OrderedDict[Tuple[Asid, int], TlbEntry]" = OrderedDict()
+        # The dict object is never rebound (flushes clear it in place):
+        # the MMU aliases it to inline the hot-path probe.
+        self._entries: Dict[int, TlbEntry] = {}
         self.stats = TlbStats()
 
     def __len__(self) -> int:
-        return len(self._entries) + len(self._huge)
+        return len(self._entries)
 
     # -- lookup / fill ---------------------------------------------------
 
     def lookup(self, asid: Asid, vpn: int) -> Optional[int]:
         """Return the cached frame for (asid, vpn) or None on miss."""
-        entry = self._entries.get((asid, vpn))
+        return self.lookup_packed(asid.key, vpn)
+
+    def lookup_packed(self, akey: int, vpn: int) -> Optional[int]:
+        """Hot-path lookup by pre-packed ASID key (see ``asid_key``)."""
+        entries = self._entries
+        entry = entries.get((akey << KEY_SHIFT) | vpn)
         if entry is not None:
             self.stats.hits += 1
             return entry.frame
-        huge = self._huge.get((asid, vpn >> 9))
-        if huge is not None:
+        entry = entries.get((akey << KEY_SHIFT) | HUGE_TAG | (vpn >> 9))
+        if entry is not None:
             self.stats.hits += 1
-            return huge.frame + (vpn % HUGE_SPAN)
+            return entry.frame + (vpn % HUGE_SPAN)
         self.stats.misses += 1
         return None
 
@@ -102,44 +139,43 @@ class Tlb:
         For huge fills, ``vpn`` may be any page in the run and ``frame``
         its frame; the entry is normalized to the 2 MiB base.
         """
+        self.insert_packed(asid.key, vpn, frame,
+                           global_=global_, huge=huge)
+
+    def insert_packed(self, akey: int, vpn: int, frame: int,
+                      global_: bool = False, huge: bool = False) -> None:
+        """Hot-path fill by pre-packed ASID key."""
+        entries = self._entries
         if huge:
-            key = (asid, vpn >> 9)
-            base_frame = frame - (vpn % HUGE_SPAN)
-            if key not in self._huge and len(self) >= self.capacity:
-                self._evict_one()
-            self._huge[key] = TlbEntry(frame=base_frame, global_=global_,
-                                       huge=True)
-            self._huge.move_to_end(key)
-            self.stats.insertions += 1
-            return
-        key = (asid, vpn)
-        if key not in self._entries and len(self) >= self.capacity:
+            key = _keyhuge(akey, vpn)
+            frame -= vpn % HUGE_SPAN
+        else:
+            key = _key4k(akey, vpn)
+        if key in entries:
+            # Refresh: move to the back of the FIFO order.
+            del entries[key]
+        elif len(entries) >= self.capacity:
             self._evict_one()
-        self._entries[key] = TlbEntry(frame=frame, global_=global_)
-        self._entries.move_to_end(key)
+        entries[key] = TlbEntry(frame=frame, global_=global_, huge=huge)
         self.stats.insertions += 1
 
     def _evict_one(self) -> None:
-        for store in (self._entries, self._huge):
-            for key, entry in store.items():
-                if not entry.global_:
-                    del store[key]
-                    self.stats.evictions += 1
-                    return
+        entries = self._entries
+        for key, entry in entries.items():
+            if not entry.global_:
+                del entries[key]
+                self.stats.evictions += 1
+                return
         # Pathological: TLB full of global entries.  Evict oldest anyway.
-        if self._entries:
-            self._entries.popitem(last=False)
-        else:
-            self._huge.popitem(last=False)
+        del entries[next(iter(entries))]
         self.stats.evictions += 1
 
     # -- flushes -----------------------------------------------------------
 
     def flush_all(self) -> int:
         """Drop everything, including global entries.  Returns count."""
-        n = len(self)
+        n = len(self._entries)
         self._entries.clear()
-        self._huge.clear()
         self.stats.flushes_full += 1
         self.stats.entries_flushed += n
         return n
@@ -147,40 +183,43 @@ class Tlb:
     def flush_vpid(self, vpid: int) -> int:
         """Drop all entries of one VM, all PCIDs — the coarse flush the
         paper's PCID mapping avoids.  Global entries survive."""
-        flushed = 0
-        for store in (self._entries, self._huge):
-            victims = [
-                k for k, e in store.items()
-                if k[0].vpid == vpid and not e.global_
-            ]
-            for k in victims:
-                del store[k]
-            flushed += len(victims)
+        entries = self._entries
+        victims = [
+            k for k, e in entries.items()
+            if _key_akey(k) >> PCID_BITS == vpid and not e.global_
+        ]
+        for k in victims:
+            del entries[k]
         self.stats.flushes_vpid += 1
-        self.stats.entries_flushed += flushed
-        return flushed
+        self.stats.entries_flushed += len(victims)
+        return len(victims)
 
     def flush_pcid(self, asid: Asid) -> int:
         """Drop one process's entries only (fine-grained flush)."""
-        flushed = 0
-        for store in (self._entries, self._huge):
-            victims = [
-                k for k, e in store.items()
-                if k[0] == asid and not e.global_
-            ]
-            for k in victims:
-                del store[k]
-            flushed += len(victims)
+        akey = asid.key
+        entries = self._entries
+        victims = [
+            k for k, e in entries.items()
+            if _key_akey(k) == akey and not e.global_
+        ]
+        for k in victims:
+            del entries[k]
         self.stats.flushes_pcid += 1
-        self.stats.entries_flushed += flushed
-        return flushed
+        self.stats.entries_flushed += len(victims)
+        return len(victims)
 
     def flush_page(self, asid: Asid, vpn: int) -> bool:
         """INVLPG: drop the translation covering one page."""
         self.stats.flushes_page += 1
-        entry = self._entries.pop((asid, vpn), None)
+        akey = asid.key
+        entry = self._entries.pop(_key4k(akey, vpn), None)
         if entry is None:
-            entry = self._huge.pop((asid, vpn >> 9), None)
+            entry = self._entries.pop(_keyhuge(akey, vpn), None)
+            if entry is not None:
+                # One INVLPG inside a huge run demotes (drops) the whole
+                # 2 MiB entry — 512 pages of reach lost to a single-page
+                # flush; experiments want this visible.
+                self.stats.flushes_huge_demotions += 1
         if entry is not None:
             self.stats.entries_flushed += 1
             return True
@@ -190,14 +229,11 @@ class Tlb:
 
     def entries_for_vpid(self, vpid: int) -> int:
         """Count cached entries tagged with one VPID."""
-        return (
-            sum(1 for (asid, _vpn) in self._entries if asid.vpid == vpid)
-            + sum(1 for (asid, _b) in self._huge if asid.vpid == vpid)
+        return sum(
+            1 for k in self._entries if _key_akey(k) >> PCID_BITS == vpid
         )
 
     def entries_for_asid(self, asid: Asid) -> int:
         """Count cached entries for one (VPID, PCID)."""
-        return (
-            sum(1 for (a, _vpn) in self._entries if a == asid)
-            + sum(1 for (a, _b) in self._huge if a == asid)
-        )
+        akey = asid.key
+        return sum(1 for k in self._entries if _key_akey(k) == akey)

@@ -124,7 +124,19 @@ class PageFaultError(enum.Flag):
 
 #: Number of architectural PCIDs (12-bit on hardware; we model 64 to keep
 #: working sets small while preserving the paper's 32..63 mapping window).
-NUM_PCIDS = 64
+PCID_BITS = 6
+NUM_PCIDS = 1 << PCID_BITS
+
+
+def asid_key(vpid: int, pcid: int) -> int:
+    """Pack a (VPID, PCID) pair into one int.
+
+    The packed form is the tag the TLB and paging-structure caches key
+    their entries by — integer keys hash an order of magnitude faster
+    than tuples of frozen dataclasses, which matters on the translation
+    hot path.
+    """
+    return (vpid << PCID_BITS) | pcid
 
 #: The PCID window PVM hands out to L2 guests (paper §3.3.2): PCIDs 32..47
 #: back L2 v_ring0 (kernel) address spaces and 48..63 back v_ring3 (user).
@@ -133,7 +145,6 @@ PVM_GUEST_USER_PCID_BASE = 48
 PVM_GUEST_PCIDS_PER_CLASS = 16
 
 
-@dataclass(frozen=True)
 class Asid:
     """A hierarchical TLB address-space tag: (VPID, PCID).
 
@@ -141,16 +152,34 @@ class Asid:
     VM and the process-context identifier of the process.  A flush can
     target one PCID or a whole VPID; the paper's PCID-mapping optimization
     exists precisely to avoid whole-VPID flushes for L2 guests.
+
+    ``key`` is the :func:`asid_key` packing, computed once at construction
+    so the translation hot path pays a single attribute load instead of
+    two loads plus the shift/or.  Equality and hashing remain on the
+    (vpid, pcid) pair.
     """
 
-    vpid: int
-    pcid: int
+    __slots__ = ("vpid", "pcid", "key")
 
-    def __post_init__(self) -> None:
-        if self.vpid < 0:
-            raise ValueError(f"vpid must be non-negative, got {self.vpid}")
-        if not 0 <= self.pcid < NUM_PCIDS:
-            raise ValueError(f"pcid must be in 0..{NUM_PCIDS - 1}, got {self.pcid}")
+    def __init__(self, vpid: int, pcid: int) -> None:
+        if vpid < 0:
+            raise ValueError(f"vpid must be non-negative, got {vpid}")
+        if not 0 <= pcid < NUM_PCIDS:
+            raise ValueError(f"pcid must be in 0..{NUM_PCIDS - 1}, got {pcid}")
+        self.vpid = vpid
+        self.pcid = pcid
+        self.key = (vpid << PCID_BITS) | pcid
+
+    def __repr__(self) -> str:
+        return f"Asid(vpid={self.vpid}, pcid={self.pcid})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Asid):
+            return NotImplemented
+        return self.vpid == other.vpid and self.pcid == other.pcid
+
+    def __hash__(self) -> int:
+        return hash((self.vpid, self.pcid))
 
 
 #: VPID 0 is conventionally the host's own address space.

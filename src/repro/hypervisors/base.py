@@ -29,6 +29,7 @@ from repro.hw.events import EventLog, SwitchKind
 from repro.hw.memory import PhysicalMemory
 from repro.hw.mmu import EptViolationException, Mmu
 from repro.hw.pagetable import PageFaultException
+from repro.hw.psc import PagingStructureCache
 from repro.hw.tlb import Tlb
 from repro.hw.types import MIB, AccessType, Asid, PageFault
 from repro.sim.clock import Clock
@@ -48,6 +49,12 @@ class MachineConfig:
     guest_mem_bytes: int = 512 * MIB
     host_mem_bytes: int = 2048 * MIB
     tlb_capacity: int = 1536
+    #: Paging-structure caches (PML4E/PDPTE/PDE caches + nested GPA
+    #: cache).  Off by default so virtual-time numbers stay bit-identical
+    #: to the seed model; experiments opt in to study partial walks.
+    psc: bool = False
+    #: Cached intermediate entries per vCPU when ``psc`` is on.
+    psc_capacity: int = 64
     #: Cap on fault-retry loops; a correct machine never hits it.
     max_fault_retries: int = 16
     # -- PVM optimization toggles (ignored by KVM machines) -------------
@@ -132,14 +139,18 @@ class Machine(abc.ABC):
     # ------------------------------------------------------------------
 
     def new_context(self) -> CpuCtx:
-        """Create one vCPU context (clock + private TLB)."""
+        """Create one vCPU context (clock + private TLB [+ PSC])."""
         cpu_id = len(self.contexts)
         tlb = Tlb(self.config.tlb_capacity)
+        psc = (
+            PagingStructureCache(self.config.psc_capacity)
+            if self.config.psc else None
+        )
         ctx = CpuCtx(
             cpu_id=cpu_id,
             clock=Clock(),
             tlb=tlb,
-            mmu=Mmu(tlb, self.events, self.costs),
+            mmu=Mmu(tlb, self.events, self.costs, psc=psc),
         )
         self.contexts.append(ctx)
         return ctx

@@ -107,6 +107,34 @@ class TestFlushes:
         assert s.flushes_page == 1
 
 
+class TestHugeDemotion:
+    def test_flush_page_inside_huge_run_counts_demotion(self):
+        """INVLPG on one page of a 2 MiB entry drops the whole entry —
+        the stats must show the 512-page reach loss, not a plain flush."""
+        tlb = Tlb()
+        tlb.insert(A1, 512, frame=0x1000, huge=True)
+        assert tlb.flush_page(A1, 700) is True  # mid-run page
+        assert tlb.stats.flushes_huge_demotions == 1
+        assert tlb.stats.entries_flushed == 1
+        # The entire run is gone, not just the flushed page.
+        assert tlb.lookup(A1, 512) is None
+        assert tlb.lookup(A1, 700) is None
+
+    def test_4k_flush_is_not_a_demotion(self):
+        tlb = Tlb()
+        tlb.insert(A1, 1, 1)
+        assert tlb.flush_page(A1, 1) is True
+        assert tlb.flush_page(A1, 2) is False  # clean miss
+        assert tlb.stats.flushes_huge_demotions == 0
+
+    def test_demotion_counter_resets(self):
+        tlb = Tlb()
+        tlb.insert(A1, 512, frame=0x1000, huge=True)
+        tlb.flush_page(A1, 513)
+        tlb.stats.reset()
+        assert tlb.stats.flushes_huge_demotions == 0
+
+
 class TestStats:
     def test_hit_rate(self):
         tlb = Tlb()
