@@ -1,10 +1,15 @@
 """Experiment harness: one entry point per table and figure.
 
 :mod:`repro.bench.experiments` regenerates every artifact of the
-paper's evaluation (§2 and §4); :mod:`repro.bench.report` renders them
-in the paper's row/series layout; :mod:`repro.bench.cli` exposes the
-``pvm-bench`` command.  ``pytest benchmarks/`` wraps each experiment in
-a pytest-benchmark target.
+paper's evaluation (§2 and §4) and describes each as shardable row
+work units; :mod:`repro.bench.parallel` fans those units across worker
+processes with a deterministic merge; :mod:`repro.bench.cache` serves
+unchanged units from a content-keyed on-disk cache;
+:mod:`repro.bench.report` renders results in the paper's row/series
+layout; :mod:`repro.bench.cli` exposes the ``pvm-bench`` command
+(``--jobs`` / ``--no-cache`` / ``--cache-dir``).  ``pytest
+benchmarks/`` wraps each experiment in a pytest-benchmark target (see
+``--bench-jobs``).
 """
 
 from repro.bench.harness import ExperimentResult, SCENARIOS_BM, SCENARIOS_NST

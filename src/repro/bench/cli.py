@@ -5,7 +5,17 @@ Examples::
     pvm-bench --list
     pvm-bench table1 table2
     pvm-bench fig10 --scale 2.0
-    pvm-bench all
+    pvm-bench all --jobs 4          # fan rows across 4 worker processes
+    pvm-bench all --no-cache        # recompute everything
+    pvm-bench all --cache-dir /tmp/c
+
+Experiment runs always go through the work-unit engine
+(:mod:`repro.bench.parallel`): ``--jobs 1`` computes the same units
+in-process, so parallel output is bit-identical to serial output.  A
+content-keyed result cache (:mod:`repro.bench.cache`) is on by default;
+re-running after a change that does not touch ``src/repro`` or the cost
+model serves every row from disk (the trailing ``cache:`` stats line
+shows the hit rate).
 """
 
 from __future__ import annotations
@@ -13,11 +23,26 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from typing import List
 
+from repro.bench.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.parallel import RunStats, run_experiments
 from repro.bench.report import render, render_chart
+
+
+def _stats_line(stats: RunStats, cache_enabled: bool) -> str:
+    """The trailing cache/fan-out summary printed after the tables."""
+    if cache_enabled:
+        total = stats.cache_hits + stats.computed
+        rate = stats.cache_hits / total if total else 0.0
+        cache_part = (f"cache: {stats.cache_hits} hits, "
+                      f"{stats.computed} misses ({rate:.0%} hit rate)")
+    else:
+        cache_part = "cache: off"
+    return (f"{cache_part} | {stats.units} units @ {stats.jobs} jobs | "
+            f"{stats.wall_seconds:.1f}s wall "
+            f"({stats.compute_seconds:.1f}s compute)")
 
 
 def main(argv: List[str] = None) -> int:
@@ -37,6 +62,19 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "--scale", type=float, default=1.0,
         help="workload scale factor (1.0 = quick default)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the row fan-out (1 = in-process; "
+             "output is bit-identical either way)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the result cache and recompute every work unit",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=f"result-cache directory (default: {DEFAULT_CACHE_DIR})",
     )
     parser.add_argument(
         "--chart", action="store_true",
@@ -72,23 +110,36 @@ def main(argv: List[str] = None) -> int:
     if unknown:
         print(f"unknown experiments: {unknown}", file=sys.stderr)
         return 2
-    json_out = {}
-    for exp_id in wanted:
-        t0 = time.time()
-        result = ALL_EXPERIMENTS[exp_id](scale=args.scale)
-        if args.as_json:
-            json_out[exp_id] = {
-                "title": result.title,
-                "unit": result.unit,
-                "notes": result.notes,
-                "data": result.as_dict(),
-                "wall_seconds": round(time.time() - t0, 2),
-            }
-            continue
-        print(render_chart(result) if args.chart else render(result))
-        print(f"   [{time.time() - t0:.1f}s wall]\n")
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    results, stats = run_experiments(
+        wanted, scale=args.scale, jobs=args.jobs, cache=cache
+    )
     if args.as_json:
+        json_out = {
+            exp_id: {
+                "title": results[exp_id].title,
+                "unit": results[exp_id].unit,
+                "notes": results[exp_id].notes,
+                "data": results[exp_id].as_dict(),
+            }
+            for exp_id in dict.fromkeys(wanted)
+        }
+        json_out["_run"] = {
+            "jobs": stats.jobs,
+            "units": stats.units,
+            "cache_hits": stats.cache_hits,
+            "cache_misses": stats.computed,
+            "wall_seconds": round(stats.wall_seconds, 2),
+            "compute_seconds": round(stats.compute_seconds, 2),
+        }
         print(json.dumps(json_out, indent=2, default=str))
+        return 0
+    for exp_id in dict.fromkeys(wanted):
+        result = results[exp_id]
+        print(render_chart(result) if args.chart else render(result))
+        print()
+    print(_stats_line(stats, cache_enabled=cache is not None))
     return 0
 
 

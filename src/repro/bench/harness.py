@@ -81,6 +81,10 @@ def measure_concurrent_op_ns(
     instance gets its own machine over a shared L0.  ``reset_stats``
     zeroes every machine's counters (events, TLB, PSC) at the barrier so
     reported hit rates cover only the measured phase.
+
+    Raises ValueError if no instance records a measured step — a factory
+    that exhausts itself during setup is a broken workload, not a
+    zero-latency one.
     """
     if n < 1:
         raise ValueError("n must be >= 1")
@@ -126,7 +130,13 @@ def measure_concurrent_op_ns(
         end = task.finished_at if task.finished_at is not None else task.clock.now
         total_ns += end - start
         total_steps += task.steps
-    return total_ns / total_steps if total_steps else 0.0
+    if not total_steps:
+        raise ValueError(
+            f"workload factory {factory!r} recorded no steps on "
+            f"{scenario!r}: every instance finished during setup (before "
+            f"its first yield), so there is nothing to measure"
+        )
+    return total_ns / total_steps
 
 
 def scaled_iterations(base: int, scale: float, minimum: int = 1) -> int:

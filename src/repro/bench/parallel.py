@@ -1,0 +1,174 @@
+"""Parallel experiment fan-out with a deterministic merge.
+
+Every cell of the evaluation surface is a pure function of
+``(experiment, row key, scale)`` over freshly-built machines — the
+virtual-clock design shares no state across rows — so rows can be
+computed in any order, in any process, and merged back in paper order
+with output **bit-identical** to the serial run.  This module turns
+that property into wall-clock speedup:
+
+* :func:`plan_units` shards a set of experiments into per-row
+  :class:`WorkUnit` descriptors,
+* :func:`map_units` fans any picklable unit function out across a
+  ``ProcessPoolExecutor`` (``jobs=1`` degenerates to an in-process
+  loop — the two paths share every line of row computation),
+* :func:`run_experiments` layers the content-keyed result cache of
+  :mod:`repro.bench.cache` underneath, so unchanged work units are
+  served from disk instead of recomputed.
+
+See docs/parallel.md for the work-unit model and cache-key anatomy.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bench.experiments import EXPERIMENT_SPECS, RowData
+from repro.bench.harness import ExperimentResult
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independently computable row of one experiment."""
+
+    exp_id: str
+    row_index: int
+    #: The row key (a label string) — redundant with ``row_index`` but
+    #: part of the cache key so renaming/reordering rows invalidates.
+    row_key: str
+    scale: float
+
+
+@dataclass
+class RunStats:
+    """What one :func:`run_experiments` call did, for the CLI."""
+
+    units: int = 0
+    computed: int = 0
+    cache_hits: int = 0
+    jobs: int = 1
+    wall_seconds: float = 0.0
+    #: Sum of per-unit compute time (the serial-equivalent cost).
+    compute_seconds: float = 0.0
+
+
+def plan_units(exp_ids: Sequence[str], scale: float = 1.0) -> List[WorkUnit]:
+    """Shard ``exp_ids`` into per-row work units, paper order."""
+    units: List[WorkUnit] = []
+    for exp_id in exp_ids:
+        spec = EXPERIMENT_SPECS[exp_id]
+        for index, key in enumerate(spec.row_keys(scale)):
+            units.append(WorkUnit(exp_id, index, str(key), scale))
+    return units
+
+
+def compute_unit(unit: WorkUnit) -> Tuple[str, List[float], float]:
+    """Compute one row; returns ``(label, values, compute_seconds)``.
+
+    Module-level so it pickles by reference into worker processes.
+    """
+    spec = EXPERIMENT_SPECS[unit.exp_id]
+    key = spec.row_keys(unit.scale)[unit.row_index]
+    t0 = time.perf_counter()
+    label, values = spec.compute_row(key, unit.scale)
+    return label, list(values), time.perf_counter() - t0
+
+
+def _mp_context():
+    """Prefer fork (workers inherit the imported simulator for free);
+    fall back to spawn where fork is unavailable."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def map_units(fn: Callable, items: Iterable, jobs: int = 1) -> List:
+    """Order-preserving map, fanned across processes when ``jobs > 1``.
+
+    ``fn`` must be picklable (a module-level callable or a
+    ``functools.partial`` over one).  With ``jobs <= 1`` this is a plain
+    in-process loop, so serial and parallel runs share the exact same
+    computation per item.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    workers = min(jobs, len(items))
+    with ProcessPoolExecutor(max_workers=workers,
+                             mp_context=_mp_context()) as pool:
+        # chunksize=1 hands units out one at a time, so a cheap row
+        # never queues behind an expensive one on the same worker.
+        return list(pool.map(fn, items, chunksize=1))
+
+
+def _assemble(
+    exp_ids: Sequence[str],
+    scale: float,
+    rows: Dict[Tuple[str, int], RowData],
+) -> "Dict[str, ExperimentResult]":
+    """Merge computed rows back into results, paper order.  Purely a
+    function of the row data — completion order cannot leak in."""
+    out: Dict[str, ExperimentResult] = {}
+    for exp_id in exp_ids:
+        spec = EXPERIMENT_SPECS[exp_id]
+        result = spec.header(scale)
+        for index in range(len(spec.row_keys(scale))):
+            label, values = rows[(exp_id, index)]
+            result.add(label, list(values))
+        if spec.finalize is not None:
+            spec.finalize(result)
+        out[exp_id] = result
+    return out
+
+
+def run_experiments(
+    exp_ids: Sequence[str],
+    scale: float = 1.0,
+    jobs: int = 1,
+    cache: Optional[object] = None,
+) -> Tuple[Dict[str, ExperimentResult], RunStats]:
+    """Regenerate several experiments, fanning rows across ``jobs``
+    worker processes and serving unchanged rows from ``cache`` (a
+    :class:`repro.bench.cache.ResultCache` or None).
+
+    Returns ``(results by exp_id, RunStats)``; results are bit-identical
+    to calling each experiment's serial function at the same scale.
+    """
+    t0 = time.perf_counter()
+    exp_ids = list(dict.fromkeys(exp_ids))  # dedupe, keep order
+    units = plan_units(exp_ids, scale)
+    stats = RunStats(units=len(units), jobs=max(1, jobs))
+    rows: Dict[Tuple[str, int], RowData] = {}
+    pending: List[WorkUnit] = []
+    for unit in units:
+        hit = cache.get(unit) if cache is not None else None
+        if hit is not None:
+            rows[(unit.exp_id, unit.row_index)] = hit
+            stats.cache_hits += 1
+        else:
+            pending.append(unit)
+    for unit, (label, values, seconds) in zip(
+            pending, map_units(compute_unit, pending, jobs)):
+        rows[(unit.exp_id, unit.row_index)] = (label, values)
+        stats.computed += 1
+        stats.compute_seconds += seconds
+        if cache is not None:
+            cache.put(unit, (label, values))
+    results = _assemble(exp_ids, scale, rows)
+    stats.wall_seconds = time.perf_counter() - t0
+    return results, stats
+
+
+def run_experiment(
+    exp_id: str,
+    scale: float = 1.0,
+    jobs: int = 1,
+    cache: Optional[object] = None,
+) -> ExperimentResult:
+    """One experiment through the work-unit engine (see
+    :func:`run_experiments`)."""
+    results, _ = run_experiments([exp_id], scale=scale, jobs=jobs, cache=cache)
+    return results[exp_id]

@@ -12,6 +12,7 @@ artifact: the paper's conclusion does not hinge on the exact 5.6 µs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro import make_machine
@@ -81,8 +82,46 @@ def sweep(
                        points=tuple(points))
 
 
+def _fault_point(cost_attr: str, scenario: str, base: CostModel,
+                 value: int) -> SweepPoint:
+    """One fault-latency sweep point (module-level: sweep points cross
+    process boundaries under ``jobs > 1``)."""
+    costs = base.with_overrides(**{cost_attr: value})
+    return SweepPoint(value=value, metric=fault_latency_ns(scenario, costs))
+
+
+def fault_sweep(
+    cost_attr: str,
+    values: Sequence[int],
+    scenario: str,
+    metric_name: Optional[str] = None,
+    base: CostModel = DEFAULT_COSTS,
+    jobs: int = 1,
+) -> SweepResult:
+    """Sweep one cost constant against :func:`fault_latency_ns`.
+
+    Each point is a pure function of ``(cost_attr, value, scenario)``,
+    so with ``jobs > 1`` the points fan out across worker processes via
+    :func:`repro.bench.parallel.map_units` — output is bit-identical to
+    the in-process run, in either case.
+    """
+    if not hasattr(base, cost_attr):
+        raise AttributeError(f"unknown cost constant {cost_attr!r}")
+    from repro.bench.parallel import map_units
+
+    points = map_units(
+        partial(_fault_point, cost_attr, scenario, base), list(values), jobs
+    )
+    return SweepResult(
+        cost_attr=cost_attr,
+        metric_name=metric_name or f"{scenario} fault ns",
+        points=tuple(points),
+    )
+
+
 def vmcs_merge_crossover(
     values: Sequence[int] = (0, 250, 500, 1000, 2000, 4000, 5600),
+    jobs: int = 1,
 ) -> Dict[str, object]:
     """How cheap must L0's VMCS merge/reload become before EPT-on-EPT's
     fault path matches PVM-on-EPT's?
@@ -92,10 +131,9 @@ def vmcs_merge_crossover(
     threshold is a horizontal line.
     """
     pvm = fault_latency_ns("pvm (NST)", DEFAULT_COSTS)
-    result = sweep(
-        "vmcs_merge_reload", values,
-        metric=lambda costs: fault_latency_ns("kvm-ept (NST)", costs),
-        metric_name="kvm-ept (NST) fault ns",
+    result = fault_sweep(
+        "vmcs_merge_reload", values, "kvm-ept (NST)",
+        metric_name="kvm-ept (NST) fault ns", jobs=jobs,
     )
     return {
         "sweep": result,
@@ -106,14 +144,14 @@ def vmcs_merge_crossover(
 
 def pvm_switch_headroom(
     values: Sequence[int] = (179, 400, 800, 1200, 1600, 2400),
+    jobs: int = 1,
 ) -> Dict[str, object]:
     """How slow could PVM's software world switch get before its fault
     path loses to hardware-assisted nesting at default costs?"""
     kvm = fault_latency_ns("kvm-ept (NST)", DEFAULT_COSTS)
-    result = sweep(
-        "pvm_world_switch", values,
-        metric=lambda costs: fault_latency_ns("pvm (NST)", costs),
-        metric_name="pvm (NST) fault ns",
+    result = fault_sweep(
+        "pvm_world_switch", values, "pvm (NST)",
+        metric_name="pvm (NST) fault ns", jobs=jobs,
     )
     return {
         "sweep": result,

@@ -17,6 +17,7 @@ under identical interpreter state, not against a stale recorded number.
 from __future__ import annotations
 
 import json
+import os
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -49,6 +50,7 @@ GATED_METRICS = (
     "warm_translations_per_sec",
     "miss_walks_per_sec",
     "faults_per_sec",
+    "parallel_speedup",
 )
 
 #: Tolerance for absolute wall-clock rates.  Shared hosts show ±30%
@@ -257,12 +259,60 @@ def bench_faults(npages: int) -> Dict[str, float]:
     return {"faults_per_sec": npages / best}
 
 
+#: Experiments whose rows form the parallel-speedup work-unit set:
+#: 9 units of uneven cost, enough to keep 4 workers busy.
+PARALLEL_BENCH_EXPERIMENTS = ("fig4", "table4")
+#: Worker-process cap for the fan-out phase (the acceptance target is
+#: a 4-core host; more workers than cores only adds scheduler noise).
+PARALLEL_BENCH_JOBS = 4
+
+
+def bench_parallel_speedup(scale: float = 1.0) -> Dict[str, float]:
+    """Fan-out throughput of the parallel experiment engine: the same
+    work-unit set computed in-process and across a process pool, in one
+    run.  Like ``speedup_vs_legacy``, the ratio is host-load-immune —
+    both sides sample the same machine — but it additionally depends on
+    core count, so ``parallel_jobs`` is recorded alongside and the gate
+    waives the metric on hosts smaller than the baseline's.
+
+    On a single-hardware-thread host the pool degenerates to the serial
+    path and the speedup is 1.0 by definition (no fan-out to measure).
+    """
+    from repro.bench import parallel as par
+
+    units = par.plan_units(PARALLEL_BENCH_EXPERIMENTS, scale=0.25 * scale)
+    t0 = time.perf_counter()
+    serial = par.map_units(par.compute_unit, units, jobs=1)
+    serial_dt = time.perf_counter() - t0
+    jobs = min(PARALLEL_BENCH_JOBS, os.cpu_count() or 1)
+    if jobs < 2:
+        return {
+            "parallel_speedup": 1.0,
+            "parallel_jobs": 1,
+            "parallel_units_per_sec": len(units) / serial_dt,
+        }
+    t0 = time.perf_counter()
+    fanned = par.map_units(par.compute_unit, units, jobs=jobs)
+    fanned_dt = time.perf_counter() - t0
+    if [r[:2] for r in fanned] != [r[:2] for r in serial]:
+        raise RuntimeError(
+            "parallel fan-out diverged from the serial run — the "
+            "determinism guarantee is broken"
+        )
+    return {
+        "parallel_speedup": serial_dt / fanned_dt,
+        "parallel_jobs": jobs,
+        "parallel_units_per_sec": len(units) / fanned_dt,
+    }
+
+
 def run_benchmarks(scale: float = 1.0) -> Dict[str, float]:
     """Run all phases; ``scale`` multiplies iteration counts."""
     results: Dict[str, float] = {}
     results.update(bench_warm_translations(iters=max(1, int(120 * scale))))
     results.update(bench_miss_walks(iters=max(1, int(12 * scale))))
     results.update(bench_faults(npages=max(64, int(3000 * scale))))
+    results.update(bench_parallel_speedup(scale=scale))
     return results
 
 
@@ -302,6 +352,9 @@ def check_regressions(
     looser :data:`ABSOLUTE_TOLERANCE`; the legacy loop additionally
     serves as a host-speed probe, waiving absolute shortfalls outright
     when the untouched legacy code slowed past tolerance too.
+    ``parallel_speedup`` is also a same-run ratio, but it scales with
+    core count, so it is waived when this host has fewer workers
+    (``parallel_jobs``) than the baseline host had.
     """
     failures = []
     base = baseline.get("results", {})
@@ -313,6 +366,12 @@ def check_regressions(
     for metric in GATED_METRICS:
         ref = base.get(metric)
         if not ref:
+            continue
+        if metric == "parallel_speedup" and (
+            results.get("parallel_jobs", 0) < base.get("parallel_jobs", 0)
+        ):
+            # Fewer hardware threads than the baseline host: the fan-out
+            # cannot reach the recorded speedup no matter the code.
             continue
         absolute = metric.endswith("_per_sec")
         tol = max(tolerance, ABSOLUTE_TOLERANCE) if absolute else tolerance
@@ -329,13 +388,19 @@ def check_regressions(
 
 def summary_line(results: Dict[str, float]) -> str:
     """The one-line human summary the CLI prints."""
-    return (
+    line = (
         f"wallclock: {results['warm_translations_per_sec'] / 1e6:.2f}M warm "
         f"trans/s ({results['speedup_vs_legacy']:.2f}x vs legacy), "
         f"{results['miss_walks_per_sec'] / 1e3:.0f}k miss-walks/s "
         f"(psc hit {results['miss_psc_hit_rate']:.0%}), "
         f"{results['faults_per_sec'] / 1e3:.1f}k faults/s"
     )
+    if "parallel_speedup" in results:
+        line += (
+            f", fan-out {results['parallel_speedup']:.2f}x "
+            f"@{int(results.get('parallel_jobs', 1))}j"
+        )
+    return line
 
 
 def run_wallclock(

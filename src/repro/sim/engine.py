@@ -8,7 +8,10 @@ serialized L0 service) consistent: no task can observe a lock timeline
 that a logically-earlier task has not yet written.
 
 Blocked tasks (e.g. a vCPU in HLT waiting for a virtual interrupt) can
-be parked and woken at an absolute virtual time.
+be parked via :meth:`Engine.park`: a parked task is withheld from
+scheduling — even when its clock is the earliest — until virtual time
+reaches its wake time, at which point its clock is advanced to the wake
+time and it becomes runnable again.
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ from typing import Callable, List, Optional, Tuple
 from repro.sim.clock import Clock
 
 
-@dataclass
+@dataclass(slots=True)
 class SimTask:
     """One schedulable execution context (typically one vCPU's workload)."""
 
@@ -33,6 +36,8 @@ class SimTask:
     done: bool = False
     steps: int = 0
     finished_at: Optional[int] = None
+    #: Absolute virtual wake time while parked; None when runnable.
+    parked_until: Optional[int] = None
 
 
 class Engine:
@@ -45,7 +50,7 @@ class Engine:
         self._seq = itertools.count()
 
     def add(self, task: SimTask) -> SimTask:
-        """Record one sample/entry."""
+        """Register a task with the engine and return it."""
         self.tasks.append(task)
         return task
 
@@ -54,8 +59,40 @@ class Engine:
         return self.add(SimTask(name=name, clock=Clock(start), stepper=stepper))
 
     def park(self, task: SimTask, wake_at: int) -> None:
-        """Park ``task`` until virtual time ``wake_at`` (used for HLT)."""
-        task.clock.advance_to(wake_at)
+        """Park ``task`` until virtual time ``wake_at`` (used for HLT).
+
+        The task is withheld from scheduling until the engine reaches
+        ``wake_at``; on wakeup its clock is advanced to the wake time.
+        Parking an already-parked task moves its wake time (the stale
+        wakeup entry is ignored when popped).
+        """
+        task.parked_until = wake_at
+        heapq.heappush(self._wakeups, (wake_at, next(self._seq), task))
+
+    def _run_single(self, task: SimTask) -> None:
+        """No-heap fast path: with a single runnable task there is
+        nothing to interleave, so step it straight to completion."""
+        total_steps = 0
+        stepper = task.stepper
+        while True:
+            more = stepper()
+            task.steps += 1
+            total_steps += 1
+            if total_steps > self.max_steps:
+                raise RuntimeError(
+                    f"engine exceeded {self.max_steps} steps; "
+                    f"task {task.name!r} is likely stuck"
+                )
+            if task.parked_until is not None:
+                # Self-park with no other runnable task: virtual time
+                # jumps straight to the wake time.
+                task.clock.advance_to(task.parked_until)
+                task.parked_until = None
+                self._wakeups.clear()
+            if not more:
+                break
+        task.done = True
+        task.finished_at = task.clock.now
 
     def run(self) -> int:
         """Run all tasks to completion; returns the makespan in ns.
@@ -63,12 +100,23 @@ class Engine:
         Raises RuntimeError if the global step budget is exhausted, which
         indicates a stuck workload rather than a long one.
         """
+        runnable = [t for t in self.tasks if not t.done and t.parked_until is None]
+        if len(runnable) == 1 and not self._wakeups:
+            self._run_single(runnable[0])
+            return self.makespan()
         heap: List[Tuple[int, int, SimTask]] = []
-        for task in self.tasks:
-            if not task.done:
-                heapq.heappush(heap, (task.clock.now, next(self._seq), task))
+        for task in runnable:
+            heapq.heappush(heap, (task.clock.now, next(self._seq), task))
         total_steps = 0
-        while heap:
+        while heap or self._wakeups:
+            if self._wakeups and (not heap or self._wakeups[0][0] <= heap[0][0]):
+                wake_at, seq, task = heapq.heappop(self._wakeups)
+                if task.done or task.parked_until != wake_at:
+                    continue  # stale entry: finished, re-parked, or woken
+                task.clock.advance_to(wake_at)
+                task.parked_until = None
+                heapq.heappush(heap, (task.clock.now, seq, task))
+                continue
             _, _, task = heapq.heappop(heap)
             more = task.stepper()
             task.steps += 1
@@ -79,7 +127,8 @@ class Engine:
                     f"task {task.name!r} is likely stuck"
                 )
             if more:
-                heapq.heappush(heap, (task.clock.now, next(self._seq), task))
+                if task.parked_until is None:
+                    heapq.heappush(heap, (task.clock.now, next(self._seq), task))
             else:
                 task.done = True
                 task.finished_at = task.clock.now

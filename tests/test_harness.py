@@ -57,6 +57,27 @@ class TestMeasurementBarrier:
         assert abs(eight - one) < 0.05 * one + 1
 
 
+class TestBrokenFactoryDetection:
+    def test_setup_only_factory_raises(self):
+        """A factory that exhausts itself during setup (before its first
+        yield) is a broken workload, not a zero-latency one."""
+
+        def setup_only(machine, ctx, proc):
+            if False:
+                yield  # pragma: no cover — makes this a generator
+
+        with pytest.raises(ValueError, match="recorded no steps"):
+            measure_concurrent_op_ns("pvm (NST)", setup_only, n=2)
+
+    def test_single_yield_factory_still_measures(self):
+        """One yield = setup ran, one measured (empty) step — legal."""
+
+        def one_step(machine, ctx, proc):
+            yield
+
+        assert measure_concurrent_op_ns("pvm (NST)", one_step, n=1) == 0.0
+
+
 class TestScaledIterations:
     def test_rounding(self):
         assert scaled_iterations(10, 0.5) == 5

@@ -161,6 +161,92 @@ class TestEngine:
     def test_makespan_empty(self):
         assert Engine().run() == 0
 
+    def test_simtask_has_slots(self):
+        t = SimTask(name="t", clock=Clock(), stepper=lambda: False)
+        with pytest.raises(AttributeError):
+            t.arbitrary_attribute = 1
+
+
+class TestEnginePark:
+    def _counted(self, engine, name, step_ns, steps, order):
+        clock = Clock()
+        remaining = [steps]
+
+        def stepper():
+            order.append((name, clock.now))
+            clock.advance(step_ns)
+            remaining[0] -= 1
+            return remaining[0] > 0
+
+        return engine.add(SimTask(name=name, clock=clock, stepper=stepper))
+
+    def test_parked_task_defers_until_wake(self):
+        """A parked task must not run before its wake time even though
+        its clock (0) is the earliest; on wakeup it resumes at wake_at."""
+        order = []
+        engine = Engine()
+        self._counted(engine, "a", 10, 3, order)
+        b = self._counted(engine, "b", 5, 1, order)
+        engine.park(b, 15)
+        engine.run()
+        assert order == [("a", 0), ("a", 10), ("b", 15), ("a", 20)]
+        assert b.finished_at == 20
+
+    def test_repark_moves_wake_time(self):
+        order = []
+        engine = Engine()
+        self._counted(engine, "a", 10, 3, order)
+        b = self._counted(engine, "b", 5, 1, order)
+        engine.park(b, 5)
+        engine.park(b, 25)  # stale 5ns wakeup must be ignored
+        engine.run()
+        assert order == [("a", 0), ("a", 10), ("a", 20), ("b", 25)]
+
+    def test_single_task_fast_path_counts_steps(self):
+        engine = Engine()
+        t = engine.add_fn("solo", iter([True, True, False]).__next__)
+        engine.run()
+        assert t.done and t.steps == 3
+
+    def test_single_task_fast_path_respects_budget(self):
+        engine = Engine(max_steps=10)
+        clock = Clock()
+
+        def forever():
+            clock.advance(1)
+            return True
+
+        engine.add(SimTask(name="loop", clock=clock, stepper=forever))
+        with pytest.raises(RuntimeError):
+            engine.run()
+
+    def test_single_task_self_park_jumps_clock(self):
+        engine = Engine()
+        clock = Clock()
+        fired = [False]
+
+        def stepper():
+            if not fired[0]:
+                fired[0] = True
+                engine.park(task, 100)  # HLT until the virtual timer
+                return True
+            return False
+
+        task = engine.add(SimTask(name="hlt", clock=clock, stepper=stepper))
+        assert engine.run() == 100
+        assert task.finished_at == 100
+
+    def test_parked_before_run_single_runnable_uses_heap(self):
+        """One runnable + one parked task must go through the full
+        scheduler, not the single-task fast path."""
+        order = []
+        engine = Engine()
+        self._counted(engine, "a", 10, 2, order)
+        b = self._counted(engine, "b", 5, 1, order)
+        engine.park(b, 3)
+        engine.run()
+        assert order == [("a", 0), ("b", 3), ("a", 10)]
+
 
 class TestStats:
     def test_basic_stats(self):

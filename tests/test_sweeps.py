@@ -6,6 +6,7 @@ from repro.bench.sweeps import (
     SweepPoint,
     SweepResult,
     fault_latency_ns,
+    fault_sweep,
     pvm_switch_headroom,
     sweep,
     vmcs_merge_crossover,
@@ -34,11 +35,47 @@ class TestSweepMachinery:
             SweepPoint(0, 10.0), SweepPoint(10, 20.0),
         ))
         assert r.crossover(5.0) is None
+        assert r.crossover(25.0) is None  # above every point
+
+    def test_crossover_flat_segment_returns_left_edge(self):
+        """A flat segment sitting exactly on the threshold cannot be
+        interpolated (0/0); the left endpoint is the first crossing."""
+        r = SweepResult("x", "m", (
+            SweepPoint(0, 5.0), SweepPoint(10, 5.0), SweepPoint(20, 9.0),
+        ))
+        assert r.crossover(5.0) == 0.0
+
+    def test_crossover_threshold_exactly_at_endpoint(self):
+        r = SweepResult("x", "m", (
+            SweepPoint(0, 1.0), SweepPoint(10, 4.0), SweepPoint(20, 8.0),
+        ))
+        assert r.crossover(4.0) == 10.0  # hits the shared endpoint
+        assert r.crossover(8.0) == 20.0  # hits the final point
+
+    def test_crossover_descending_metric(self):
+        r = SweepResult("x", "m", (
+            SweepPoint(0, 100.0), SweepPoint(10, 0.0),
+        ))
+        assert r.crossover(25.0) == 7.5
+
+    def test_crossover_single_point_never_crosses(self):
+        r = SweepResult("x", "m", (SweepPoint(5, 1.0),))
+        assert r.crossover(1.0) is None  # no segment to cross
 
     def test_fault_latency_positive_and_ordered(self):
         pvm = fault_latency_ns("pvm (NST)", DEFAULT_COSTS)
         kvm = fault_latency_ns("kvm-ept (NST)", DEFAULT_COSTS)
         assert 0 < pvm < kvm
+
+    def test_fault_sweep_unknown_cost_rejected(self):
+        with pytest.raises(AttributeError):
+            fault_sweep("not_a_cost", [1], "pvm (NST)")
+
+    def test_fault_sweep_parallel_matches_serial(self):
+        """Per-point fan-out is bit-identical to the in-process sweep
+        (frozen dataclasses compare by value)."""
+        args = ("vmcs_merge_reload", (0, 5600), "kvm-ept (NST)")
+        assert fault_sweep(*args, jobs=2) == fault_sweep(*args, jobs=1)
 
 
 class TestRobustnessHeadlines:

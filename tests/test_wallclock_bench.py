@@ -50,6 +50,18 @@ class TestBaselineContract:
         failures = wallclock.check_regressions(fast_host, baseline)
         assert len(failures) == 1 and "faults_per_sec" in failures[0]
 
+    def test_parallel_gate_waived_on_smaller_host(self):
+        """A host with fewer workers than the baseline host cannot reach
+        the recorded fan-out speedup; the gate must waive, not fail."""
+        baseline = {"results": {"parallel_speedup": 3.0, "parallel_jobs": 4}}
+        small_host = {"parallel_speedup": 1.0, "parallel_jobs": 1}
+        assert wallclock.check_regressions(small_host, baseline) == []
+        same_host_regressed = {"parallel_speedup": 1.5, "parallel_jobs": 4}
+        failures = wallclock.check_regressions(same_host_regressed, baseline)
+        assert len(failures) == 1 and "parallel_speedup" in failures[0]
+        bigger_host = {"parallel_speedup": 2.9, "parallel_jobs": 8}
+        assert wallclock.check_regressions(bigger_host, baseline) == []
+
     def test_baseline_roundtrip(self, tmp_path):
         path = tmp_path / "BENCH_walk.json"
         wallclock.write_baseline({"warm_translations_per_sec": 123.456}, path)
@@ -66,6 +78,17 @@ class TestBaselineContract:
             "faults_per_sec": 1.2e4,
         })
         assert line.startswith("wallclock:") and "vs legacy" in line
+        assert "fan-out" not in line  # phase absent: no fan-out segment
+        line = wallclock.summary_line({
+            "warm_translations_per_sec": 5e6,
+            "speedup_vs_legacy": 1.7,
+            "miss_walks_per_sec": 2e5,
+            "miss_psc_hit_rate": 0.99,
+            "faults_per_sec": 1.2e4,
+            "parallel_speedup": 2.5,
+            "parallel_jobs": 4,
+        })
+        assert "fan-out 2.50x @4j" in line
 
 
 @pytest.mark.wallclock_bench
