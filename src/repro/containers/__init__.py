@@ -9,6 +9,17 @@ concurrency bottlenecks arise.
 """
 
 from repro.containers.container import SecureContainer
-from repro.containers.runtime import RunDRuntime, RuntimeError_ as RundError
+from repro.containers.runtime import (
+    ContainerBootError,
+    RunDRuntime,
+    RuntimeError_ as RundError,
+    SupervisorPolicy,
+)
 
-__all__ = ["SecureContainer", "RunDRuntime", "RundError"]
+__all__ = [
+    "SecureContainer",
+    "RunDRuntime",
+    "RundError",
+    "ContainerBootError",
+    "SupervisorPolicy",
+]

@@ -22,7 +22,9 @@ class SecureContainer:
     ctx: CpuCtx
     init: Process
     boot_ns: int = 0
-    state: str = "running"  # running | stopped
+    state: str = "running"  # running | crashed | stopped
+    #: Times this container's guest was restarted by the supervisor.
+    restarts: int = 0
 
     def run(self, workload_factory, **params) -> Generator[None, None, None]:
         """Bind a workload to this container's vCPU and init process."""
@@ -30,11 +32,32 @@ class SecureContainer:
             raise RuntimeError(f"container {self.container_id} is {self.state}")
         return workload_factory(self.machine, self.ctx, self.init, **params)
 
+    def mark_crashed(self) -> None:
+        """The guest died (panic/OOM); only a restart can revive it."""
+        if self.state == "running":
+            self.state = "crashed"
+
+    def relaunch(self, init: Process) -> None:
+        """Bring a crashed container back up with a fresh init process."""
+        if self.state != "crashed":
+            raise RuntimeError(
+                f"container {self.container_id} is {self.state}, not crashed"
+            )
+        self.init = init
+        self.state = "running"
+        self.restarts += 1
+
     def stop(self) -> None:
-        """Stop the container (idempotent)."""
+        """Stop the container (idempotent).
+
+        A crashed container transitions straight to stopped: its guest
+        is already dead, so there is no init process to exit.
+        """
         if self.state == "running":
             if self.init.alive:
                 self.machine.exit(self.ctx, self.init)
+            self.state = "stopped"
+        elif self.state == "crashed":
             self.state = "stopped"
 
     @property

@@ -14,8 +14,9 @@ a stop-and-copy downtime window proportional to the residual set.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
+from repro.faults import SITE_MIGRATION_COPY, FaultPlan, MigrationLinkError
 from repro.hypervisors.base import Machine
 
 
@@ -25,6 +26,12 @@ PAGE_COPY_NS = 3_500
 DOWNTIME_BASE_NS = 40_000_000  # 40 ms
 #: Fraction of mapped pages still dirty at stop-and-copy.
 RESIDUAL_DIRTY = 0.05
+#: Pre-copy attempts before a persistently failing link aborts the
+#: migration (transient faults retry with capped exponential backoff).
+MAX_COPY_ATTEMPTS = 4
+#: First retry backoff; doubles per attempt up to the cap.
+RETRY_BACKOFF_BASE_NS = 5_000_000  # 5 ms
+RETRY_BACKOFF_CAP_NS = 40_000_000  # 40 ms
 
 
 class MigrationBlockedError(Exception):
@@ -42,11 +49,15 @@ class MigrationReport:
     pages_copied: int
     precopy_ns: int
     downtime_ns: int
+    #: Pre-copy passes taken (1 = no transient link faults).
+    attempts: int = 1
+    #: Time lost to aborted passes and retry backoff.
+    retry_ns: int = 0
 
     @property
     def total_ns(self) -> int:
-        """Pre-copy plus downtime."""
-        return self.precopy_ns + self.downtime_ns
+        """Pre-copy plus downtime plus retry losses."""
+        return self.precopy_ns + self.downtime_ns + self.retry_ns
 
 
 def pins_host_state(machine: Machine) -> bool:
@@ -62,12 +73,26 @@ def pins_host_state(machine: Machine) -> bool:
 class MigrationManager:
     """Migrates the L1 VM hosting a set of secure containers."""
 
-    def migrate_l1(self, machines: Sequence[Machine]) -> MigrationReport:
+    def migrate_l1(
+        self,
+        machines: Sequence[Machine],
+        plan: Optional[FaultPlan] = None,
+        now_ns: int = 0,
+        max_attempts: int = MAX_COPY_ATTEMPTS,
+    ) -> MigrationReport:
         """Live-migrate the L1 VM with all its L2 guests running.
 
         Raises :class:`NotMigratableError` for bare-metal scenarios and
         :class:`MigrationBlockedError` when any running stack pins state
         in the host hypervisor (the kvm NST limitation).
+
+        With a :class:`~repro.faults.FaultPlan`, transient link faults
+        (site ``migration.page-copy``) abort a pre-copy pass partway
+        through; the manager retries with capped exponential backoff up
+        to ``max_attempts`` passes (``MigrationLinkError`` beyond), and
+        the report carries ``attempts`` and the time lost in
+        ``retry_ns``.  ``now_ns`` is the virtual time the migration
+        starts at, used only to trigger the plan.
         """
         if not machines:
             raise ValueError("nothing to migrate")
@@ -84,12 +109,32 @@ class MigrationManager:
                 )
         pages = sum(self._l1_footprint_pages(m) for m in machines)
         precopy = pages * PAGE_COPY_NS
+        attempts = 1
+        retry_ns = 0
+        t = now_ns
+        while plan is not None and plan.fires(SITE_MIGRATION_COPY, t):
+            if attempts >= max_attempts:
+                raise MigrationLinkError(
+                    f"migration link failed {attempts} pre-copy passes; "
+                    f"giving up after {retry_ns} ns of retries"
+                )
+            # The link dropped partway through this pass: the fraction
+            # already copied is wasted, then the backoff elapses.
+            fraction = plan.uniform(SITE_MIGRATION_COPY, 0.1, 0.9)
+            backoff = min(RETRY_BACKOFF_BASE_NS * (1 << (attempts - 1)),
+                          RETRY_BACKOFF_CAP_NS)
+            wasted = int(precopy * fraction) + backoff
+            retry_ns += wasted
+            t += wasted
+            attempts += 1
         residual = max(1, int(pages * RESIDUAL_DIRTY))
         downtime = DOWNTIME_BASE_NS + residual * PAGE_COPY_NS
         return MigrationReport(
             pages_copied=pages + residual,
             precopy_ns=precopy,
             downtime_ns=downtime,
+            attempts=attempts,
+            retry_ns=retry_ns,
         )
 
     def save_restore_supported(self, machine: Machine) -> bool:

@@ -12,19 +12,44 @@ and shadow-EPT resources per L2 guest in the host; past
 :data:`KVM_NST_CAPACITY` concurrently-running kvm-ept (NST) containers
 the runtime connection fails — modeling the crash the paper observed at
 150 containers (Figure 12).
+
+Failure recovery: with a :class:`~repro.faults.FaultPlan` installed the
+runtime becomes a *supervisor*.  Container boots retry transient
+failures, crashed guests (injected panic, guest OOM, watchdog overrun)
+are restarted with capped exponential backoff scheduled in **virtual
+time** via :meth:`~repro.sim.engine.Engine.park`, and
+:meth:`RunDRuntime.run_fleet` returns availability/MTTR/restart
+counters (a :class:`~repro.sim.stats.RecoveryStats`) instead of
+propagating the first exception.  The asymmetry the paper implies falls
+out of the model: a PVM guest restarts entirely inside L1, while a
+hardware-nested guest's restart re-serializes its VMCS02/shadow-EPT
+setup on the shared L0 service — restarts re-approach the boot-storm
+cliff.
 """
 
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro import make_machine
 from repro.containers.container import SecureContainer
+from repro.containers.migration import pins_host_state
+from repro.faults import (
+    SITE_CONTAINER_BOOT,
+    SITE_GUEST_PANIC,
+    SITE_GUEST_PHYS,
+    FaultPlan,
+    GuestOomError,
+    GuestPanicError,
+    IoCompletionError,
+)
 from repro.hw.costs import CostModel, DEFAULT_COSTS
 from repro.hypervisors.base import MachineConfig
 from repro.sim.engine import Engine, SimTask
 from repro.sim.locks import SimLock
+from repro.sim.stats import RecoveryStats
 from repro.workloads.ops import WorkloadResult, gen_stepper
 
 
@@ -53,6 +78,32 @@ class RuntimeError_(Exception):
 RundError = RuntimeError_
 
 
+class ContainerBootError(RuntimeError_):
+    """A container failed to boot past the supervisor's retry budget."""
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Knobs of the failure-recovery supervisor.
+
+    All durations are virtual nanoseconds; restart backoff grows
+    ``backoff_base_ns * 2**(failure-1)`` capped at ``backoff_cap_ns``.
+    """
+
+    #: Restarts per container before the supervisor gives up on it.
+    max_restarts: int = 3
+    #: Transient boot failures retried per container launch.
+    boot_retries: int = 3
+    #: First restart backoff (doubles per consecutive failure).
+    backoff_base_ns: int = 10_000_000  # 10 ms
+    #: Backoff ceiling.
+    backoff_cap_ns: int = 160_000_000  # 160 ms
+    #: Per-attempt virtual-time deadline; a container that runs this
+    #: long without finishing its workload is declared hung and
+    #: restarted.  None disables the watchdog.
+    watchdog_ns: Optional[int] = None
+
+
 class RunDRuntime:
     """Manages a fleet of secure containers for one deployment scenario."""
 
@@ -61,12 +112,24 @@ class RunDRuntime:
         scenario: str,
         config: Optional[MachineConfig] = None,
         costs: CostModel = DEFAULT_COSTS,
+        fault_plan: Optional[FaultPlan] = None,
+        policy: Optional[SupervisorPolicy] = None,
     ) -> None:
         self.scenario = scenario
         self.config = config or MachineConfig()
         self.costs = costs
+        self.fault_plan = fault_plan
+        self.policy = policy or SupervisorPolicy()
         #: The host's shared root-mode service.
         self.shared_l0 = SimLock("host-l0-service")
+        if fault_plan is not None:
+            # An injected holder stall on the L0 service delays every
+            # later waiter in the fleet (they queue on the timeline).
+            self.shared_l0.stall_hook = fault_plan.lock_stall_hook()
+        #: Recovery scoreboard; reset by each supervised run_fleet.
+        self.recovery: Optional[RecoveryStats] = (
+            RecoveryStats() if fault_plan is not None else None
+        )
         self.containers: List[SecureContainer] = []
         self._ids = itertools.count(1)
 
@@ -77,7 +140,14 @@ class RunDRuntime:
 
         ``scenario`` overrides the runtime's default per container —
         PVM guests, hardware-nested guests, and ordinary VMs co-exist
-        on one host (§3), sharing only the L0 service."""
+        on one host (§3), sharing only the L0 service.
+
+        With a fault plan, transient boot failures (site
+        ``container.boot``) are retried up to the policy's
+        ``boot_retries``, each failed attempt charging one boot plus a
+        backoff to the container's eventual clock; past the budget a
+        :class:`ContainerBootError` is raised.
+        """
         scenario = scenario or self.scenario
         if (
             scenario == "kvm-ept (NST)"
@@ -87,12 +157,24 @@ class RunDRuntime:
                 f"RunD: failed to connect to container runtime "
                 f"(kvm-ept NST capacity {KVM_NST_CAPACITY} exhausted)"
             )
+        retry_ns = 0
+        if self.fault_plan is not None:
+            failed_boots = 0
+            while self.fault_plan.fires(SITE_CONTAINER_BOOT, retry_ns):
+                failed_boots += 1
+                if failed_boots > self.policy.boot_retries:
+                    raise ContainerBootError(
+                        f"RunD: container boot failed {failed_boots} times "
+                        f"(retry budget {self.policy.boot_retries} exhausted)"
+                    )
+                if self.recovery is not None:
+                    self.recovery.boot_retries += 1
+                retry_ns += BOOT_NS + self.policy.backoff_base_ns
         machine = make_machine(scenario, config=self.config, costs=self.costs)
         machine.l0_lock = self.shared_l0
+        machine.fault_plan = self.fault_plan
         ctx = machine.new_context()
-        ctx.clock.advance(BOOT_NS)
-        from repro.containers.migration import pins_host_state
-
+        ctx.clock.advance(retry_ns + BOOT_NS)
         if pins_host_state(machine):
             # Hardware-assisted nesting: L0 must build this guest's
             # VMCS02/shadow-EPT state — serialized across the fleet.
@@ -109,8 +191,20 @@ class RunDRuntime:
         return container
 
     def launch_fleet(self, n: int) -> List[SecureContainer]:
-        """Launch n containers."""
-        return [self.launch() for _ in range(n)]
+        """Launch n containers.
+
+        A mid-fleet launch failure stops every container this call
+        already launched before re-raising — no leaked running guests.
+        """
+        launched: List[SecureContainer] = []
+        try:
+            for _ in range(n):
+                launched.append(self.launch())
+        except BaseException:
+            for container in launched:
+                container.stop()
+            raise
+        return launched
 
     def stop_all(self) -> None:
         """Stop every container."""
@@ -138,38 +232,184 @@ class RunDRuntime:
 
         ``cpu_pool`` (a :class:`~repro.sim.cpupool.CpuPool`) makes the
         fleet share finite hardware threads: past capacity, every
-        container's time dilates proportionally."""
+        container's time dilates proportionally.
+
+        With a fault plan installed the run is *supervised*: boot
+        failures, guest panics, guest OOM, and watchdog overruns are
+        absorbed and recovered per policy instead of propagating, and
+        the result carries a :class:`~repro.sim.stats.RecoveryStats`
+        in ``result.recovery``.  Containers are always stopped on the
+        way out, even when the engine raises.
+        """
         from repro.sim.cpupool import dilated_stepper
 
-        fleet = self.launch_fleet(n)
-        engine = Engine(max_steps=max_steps)
-        for container in fleet:
-            gen = container.run(workload_factory, **params)
-            task = SimTask(
-                name=container.container_id,
-                clock=container.ctx.clock,
-                stepper=gen_stepper(gen),
+        supervised = self.fault_plan is not None
+        if supervised:
+            self.recovery = RecoveryStats()
+        fleet: List[SecureContainer] = []
+        #: container_id -> virtual time the supervisor gave up on it.
+        dead_at: Dict[str, int] = {}
+        try:
+            if supervised:
+                for _ in range(n):
+                    try:
+                        fleet.append(self.launch())
+                    except RuntimeError_:
+                        # Permanent boot failure (retry budget or the
+                        # NST capacity cliff): the member never comes
+                        # up; its whole window counts as downtime.
+                        self.recovery.boot_failures += 1
+            else:
+                fleet = self.launch_fleet(n)
+            engine = Engine(max_steps=max_steps)
+            for container in fleet:
+                task = SimTask(
+                    name=container.container_id,
+                    clock=container.ctx.clock,
+                    stepper=lambda: False,
+                )
+                if supervised:
+                    task.stepper = self._supervised_stepper(
+                        engine, task, container, workload_factory, params,
+                        dead_at,
+                    )
+                else:
+                    gen = container.run(workload_factory, **params)
+                    task.stepper = gen_stepper(gen)
+                if cpu_pool is not None:
+                    task.stepper = dilated_stepper(task, cpu_pool)
+                engine.add(task)
+            makespan = engine.run()
+            counters: Dict[str, Dict[str, int]] = {}
+            for container in fleet:
+                for name, vals in container.machine.events.snapshot().items():
+                    bucket = counters.setdefault(name, {})
+                    for k, v in vals.items():
+                        bucket[k] = bucket.get(k, 0) + v
+            recovery = None
+            if supervised:
+                recovery = self.recovery
+                for died in dead_at.values():
+                    recovery.total_downtime_ns += max(0, makespan - died)
+                recovery.total_downtime_ns += (
+                    recovery.boot_failures * makespan
+                )
+                recovery.finalize(span_ns=makespan, members=n)
+            base = BOOT_NS if fleet else 0
+            return WorkloadResult(
+                scenario=self.scenario,
+                n=n,
+                makespan_ns=makespan - base,
+                completions_ns=[
+                    (t.finished_at if t.finished_at is not None else t.clock.now)
+                    - base
+                    for t in engine.tasks
+                ],
+                counters=counters,
+                recovery=recovery,
             )
-            if cpu_pool is not None:
-                task.stepper = dilated_stepper(task, cpu_pool)
-            engine.add(task)
-        makespan = engine.run()
-        counters: Dict[str, Dict[str, int]] = {}
-        for container in fleet:
-            for name, vals in container.machine.events.snapshot().items():
-                bucket = counters.setdefault(name, {})
-                for k, v in vals.items():
-                    bucket[k] = bucket.get(k, 0) + v
-        result = WorkloadResult(
-            scenario=self.scenario,
-            n=n,
-            makespan_ns=makespan - BOOT_NS,
-            completions_ns=[
-                (t.finished_at if t.finished_at is not None else t.clock.now)
-                - BOOT_NS
-                for t in engine.tasks
-            ],
-            counters=counters,
-        )
-        self.stop_all()
-        return result
+        finally:
+            self.stop_all()
+
+    # -- supervision -------------------------------------------------------
+
+    def _supervised_stepper(
+        self,
+        engine: Engine,
+        task: SimTask,
+        container: SecureContainer,
+        workload_factory: Callable,
+        params: Dict,
+        dead_at: Dict[str, int],
+    ) -> Callable[[], bool]:
+        """Wrap one container's workload with crash detection + restart.
+
+        Per step: the watchdog deadline is checked, the fault plan may
+        panic the guest (triple fault) or exhaust its guest-physical
+        memory, and any injected failure marks the container crashed.
+        A crash parks the task in virtual time for a capped exponential
+        backoff; on wake the guest re-boots (NST guests re-serialize
+        their L0 setup on the shared lock) and the workload restarts
+        from scratch.  Past ``max_restarts`` consecutive lifetimes the
+        supervisor gives up and the member stays down.
+        """
+        plan = self.fault_plan
+        policy = self.policy
+        recovery = self.recovery
+        machine = container.machine
+        events = machine.events
+        clock = container.ctx.clock
+        state = {
+            "inner": gen_stepper(container.run(workload_factory, **params)),
+            "attempt_start": clock.now,
+            "crashed_at": None,
+            "failures": 0,
+        }
+
+        def crash(reason: str) -> bool:
+            recovery.record_crash(reason)
+            container.mark_crashed()
+            # Reclaim the dead guest's frames so restarts don't leak
+            # guest-physical memory across lifetimes.
+            try:
+                machine.kernel.exit_process(container.init)
+            except Exception:
+                pass
+            state["failures"] += 1
+            if state["failures"] > policy.max_restarts:
+                recovery.gave_up += 1
+                events.recovery("gave-up")
+                dead_at[container.container_id] = clock.now
+                return False
+            state["crashed_at"] = clock.now
+            backoff = min(
+                policy.backoff_base_ns * (1 << (state["failures"] - 1)),
+                policy.backoff_cap_ns,
+            )
+            engine.park(task, clock.now + backoff)
+            return True
+
+        def step() -> bool:
+            if state["crashed_at"] is not None:
+                # Woke from restart backoff: boot the replacement guest.
+                clock.advance(BOOT_NS)
+                if pins_host_state(machine):
+                    # A hardware-nested restart re-serializes VMCS02 /
+                    # shadow-EPT setup on the host's L0 service — the
+                    # same cliff concurrent launches queue on.
+                    self.shared_l0.run_locked(clock, NESTED_BOOT_L0_NS)
+                init = machine.spawn_process()
+                container.relaunch(init)
+                state["inner"] = gen_stepper(
+                    workload_factory(machine, container.ctx, init, **params)
+                )
+                recovery.record_restart(clock.now - state["crashed_at"])
+                events.recovery("restart")
+                state["crashed_at"] = None
+                state["attempt_start"] = clock.now
+                return True
+            if (
+                policy.watchdog_ns is not None
+                and clock.now - state["attempt_start"] > policy.watchdog_ns
+            ):
+                return crash("watchdog")
+            try:
+                if plan.fires(SITE_GUEST_PANIC, clock.now, events=events):
+                    raise GuestPanicError(
+                        f"{container.container_id}: injected triple fault"
+                    )
+                if plan.fires(SITE_GUEST_PHYS, clock.now, events=events):
+                    raise GuestOomError(
+                        f"{container.container_id}: guest-physical frames "
+                        f"exhausted"
+                    )
+                more = state["inner"]()
+            except GuestPanicError:
+                return crash("guest-panic")
+            except (GuestOomError, MemoryError):
+                return crash("guest-oom")
+            except IoCompletionError:
+                return crash("io-error")
+            return more
+
+        return step

@@ -99,6 +99,10 @@ class EventLog:
         self.interrupts = Counter("interrupts")
         self.lock_wait_ns = Counter("lock_wait_ns")
         self.emulations = Counter("emulations")
+        #: Fault-plan firings by site (always zero without a plan).
+        self.faults_injected = Counter("faults_injected")
+        #: Supervisor recovery actions ("restart", "gave-up", ...).
+        self.recoveries = Counter("recoveries")
 
     # -- recording -------------------------------------------------------
 
@@ -157,6 +161,14 @@ class EventLog:
         """Record one emulation by kind."""
         self.emulations.add(1, key=what)
 
+    def fault_injected(self, site: str) -> None:
+        """Record one fault-plan firing by site."""
+        self.faults_injected.add(1, key=site)
+
+    def recovery(self, kind: str) -> None:
+        """Record one supervisor recovery action by kind."""
+        self.recoveries.add(1, key=kind)
+
     # -- inspection --------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict[str, int]]:
@@ -186,6 +198,8 @@ class EventLog:
             self.interrupts,
             self.lock_wait_ns,
             self.emulations,
+            self.faults_injected,
+            self.recoveries,
         )
 
 

@@ -129,6 +129,9 @@ class Machine(abc.ABC):
         #: kernel, identical across platforms; drives the fork-family
         #: degradation every configuration shows at high concurrency.
         self.guest_fork_lock = SimLock("guest-fork", self.events)
+        #: Fault-injection plan consulted by the I/O stack and the
+        #: container supervisor (None = no faults, zero-cost paths).
+        self.fault_plan = None
         #: guest frame -> host frame backing (the "memslot" mapping).
         self._backing: Dict[int, int] = {}
         #: Base gfns of 2 MiB guest allocations (for huge EPT/shadow fills).

@@ -16,8 +16,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from repro.faults import SITE_VIRTIO_COMPLETION, IoCompletionError
 from repro.hw.types import KIB
-from repro.io.virtio import QueueFullError, VirtQueue
+from repro.io.virtio import STATUS_OK, QueueFullError, VirtQueue
+
+
+#: Re-submissions of errored completions before the request is failed
+#: up to the caller (an injected-fault storm, not a real device).
+IO_RETRY_LIMIT = 8
 
 
 class VirtioBlk:
@@ -74,6 +80,8 @@ class IoResult:
     nbytes: int
     descriptors: int
     doorbells: int
+    #: Errored completions that were re-submitted (0 without a fault plan).
+    retries: int = 0
 
 
 class IoStack:
@@ -115,9 +123,11 @@ class IoStack:
                  segment: int) -> IoResult:
         machine = self.machine
         costs = machine.costs
+        plan = getattr(machine, "fault_plan", None)
         ndesc = max(1, (nbytes + segment - 1) // segment)
         posted = 0
         doorbells = 0
+        retries = 0
         remaining = ndesc
         while remaining:
             # Post as many descriptors as fit, then kick once (batching).
@@ -135,7 +145,36 @@ class IoStack:
             posted += batch
             # Device services the batch, then interrupts.
             ctx.clock.advance(device.service_ns(batch * segment))
+            if plan is not None and plan.fires(
+                    SITE_VIRTIO_COMPLETION, ctx.clock.now,
+                    events=machine.events):
+                device.queue.fail_used(1)
             machine.deliver_device_irq(ctx)
-            device.queue.reap()
+            failed = [d for d in device.queue.reap()
+                      if d.status != STATUS_OK]
+            # Errored completions are re-posted until they complete
+            # clean — each retry pays the full doorbell/interrupt dance.
+            while failed:
+                if retries >= IO_RETRY_LIMIT:
+                    raise IoCompletionError(
+                        f"{len(failed)} virtio completions still errored "
+                        f"after {retries} retries"
+                    )
+                retries += 1
+                for desc in failed:
+                    device.queue.add_buf(desc.length, write=desc.write)
+                    ctx.clock.advance(costs.virtio_add_buf)
+                device.queue.kick()
+                machine.virtio_doorbell(ctx)
+                doorbells += 1
+                ctx.clock.advance(device.service_ns(len(failed) * segment))
+                if plan is not None and plan.fires(
+                        SITE_VIRTIO_COMPLETION, ctx.clock.now,
+                        events=machine.events):
+                    device.queue.fail_used(1)
+                machine.deliver_device_irq(ctx)
+                failed = [d for d in device.queue.reap()
+                          if d.status != STATUS_OK]
         device.account(nbytes, write)
-        return IoResult(nbytes=nbytes, descriptors=posted, doorbells=doorbells)
+        return IoResult(nbytes=nbytes, descriptors=posted,
+                        doorbells=doorbells, retries=retries)

@@ -14,6 +14,11 @@ from typing import Deque, Dict, List, Optional
 from collections import deque
 
 
+#: Completion statuses (mirroring virtio's used-ring status byte).
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
 @dataclass
 class VringDesc:
     """One descriptor: a guest buffer handed to the device."""
@@ -21,6 +26,8 @@ class VringDesc:
     desc_id: int
     length: int
     write: bool  # True when the device writes (a read request)
+    #: Completion status, set by the device before the driver reaps.
+    status: str = STATUS_OK
 
 
 class QueueFullError(Exception):
@@ -42,6 +49,7 @@ class VirtQueue:
         self._used: Deque[int] = deque()
         self.kicks = 0
         self.notifications_suppressed = 0
+        self.completion_errors = 0
 
     # -- driver side -------------------------------------------------------
 
@@ -75,6 +83,26 @@ class VirtQueue:
         for desc_id in batch:
             self._used.append(desc_id)  # device consumes in order
         return n
+
+    # -- device side -------------------------------------------------------
+
+    def fail_used(self, n: int = 1) -> int:
+        """Mark up to ``n`` unreaped completions as errored (device side).
+
+        Models the device writing an error status into the used ring —
+        the driver observes it at :meth:`reap` and must retry those
+        buffers.  Returns how many completions were actually marked.
+        """
+        failed = 0
+        for desc_id in self._used:
+            if failed >= n:
+                break
+            desc = self._table[desc_id]
+            if desc.status == STATUS_OK:
+                desc.status = STATUS_ERROR
+                failed += 1
+        self.completion_errors += failed
+        return failed
 
     def reap(self, max_items: Optional[int] = None) -> List[VringDesc]:
         """Harvest completed buffers and recycle their descriptors."""

@@ -24,6 +24,27 @@ from typing import Callable, List, Optional, Tuple
 from repro.sim.clock import Clock
 
 
+class StuckTaskError(RuntimeError):
+    """The engine's step budget was exhausted by a runaway task.
+
+    Subclasses :class:`RuntimeError` for backward compatibility, but
+    carries enough structure (task name, steps taken, virtual clock at
+    abort) for supervisor code to distinguish "stuck workload" from a
+    real runtime error and act on the offender.
+    """
+
+    def __init__(self, task_name: str, steps: int, now_ns: int,
+                 max_steps: int) -> None:
+        super().__init__(
+            f"engine exceeded {max_steps} steps; task {task_name!r} is "
+            f"likely stuck (task steps={steps}, virtual time={now_ns} ns)"
+        )
+        self.task_name = task_name
+        self.steps = steps
+        self.now_ns = now_ns
+        self.max_steps = max_steps
+
+
 @dataclass(slots=True)
 class SimTask:
     """One schedulable execution context (typically one vCPU's workload)."""
@@ -79,10 +100,8 @@ class Engine:
             task.steps += 1
             total_steps += 1
             if total_steps > self.max_steps:
-                raise RuntimeError(
-                    f"engine exceeded {self.max_steps} steps; "
-                    f"task {task.name!r} is likely stuck"
-                )
+                raise StuckTaskError(task.name, task.steps,
+                                     task.clock.now, self.max_steps)
             if task.parked_until is not None:
                 # Self-park with no other runnable task: virtual time
                 # jumps straight to the wake time.
@@ -97,8 +116,9 @@ class Engine:
     def run(self) -> int:
         """Run all tasks to completion; returns the makespan in ns.
 
-        Raises RuntimeError if the global step budget is exhausted, which
-        indicates a stuck workload rather than a long one.
+        Raises :class:`StuckTaskError` if the global step budget is
+        exhausted, which indicates a stuck workload rather than a long
+        one.
         """
         runnable = [t for t in self.tasks if not t.done and t.parked_until is None]
         if len(runnable) == 1 and not self._wakeups:
@@ -122,10 +142,8 @@ class Engine:
             task.steps += 1
             total_steps += 1
             if total_steps > self.max_steps:
-                raise RuntimeError(
-                    f"engine exceeded {self.max_steps} steps; "
-                    f"task {task.name!r} is likely stuck"
-                )
+                raise StuckTaskError(task.name, task.steps,
+                                     task.clock.now, self.max_steps)
             if more:
                 if task.parked_until is None:
                     heapq.heappush(heap, (task.clock.now, next(self._seq), task))

@@ -31,6 +31,11 @@ class SimLock:
         self.acquisitions = 0
         self.total_wait_ns = 0
         self.total_hold_ns = 0
+        #: Optional fault hook ``(request_time_ns) -> extra_hold_ns``:
+        #: a holder stall injected by a fault plan extends this
+        #: acquisition's hold, so every later waiter queues behind it.
+        self.stall_hook = None
+        self.stalls_injected_ns = 0
 
     def run_locked(self, clock: Clock, hold_ns: int, overhead_ns: int = 0) -> int:
         """Execute a critical section of ``hold_ns`` under this lock.
@@ -41,6 +46,11 @@ class SimLock:
         """
         if hold_ns < 0 or overhead_ns < 0:
             raise ValueError("durations must be non-negative")
+        if self.stall_hook is not None:
+            extra = self.stall_hook(clock.now)
+            if extra:
+                hold_ns += extra
+                self.stalls_injected_ns += extra
         request = clock.now
         grant = max(request, self.free_at)
         wait = grant - request
@@ -65,6 +75,7 @@ class SimLock:
         self.acquisitions = 0
         self.total_wait_ns = 0
         self.total_hold_ns = 0
+        self.stalls_injected_ns = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<SimLock {self.name} free_at={self.free_at}>"

@@ -129,6 +129,102 @@ def speedup(baseline: float, measured: float) -> float:
 
 
 # ---------------------------------------------------------------------------
+# Failure-recovery accounting (the supervisor's scoreboard)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RecoveryStats:
+    """Failure/recovery accounting for one supervised fleet run.
+
+    The :class:`~repro.containers.runtime.RunDRuntime` supervisor feeds
+    this while it detects crashes and restarts containers; at the end
+    of the run :meth:`finalize` fixes the observation span so
+    availability and MTTR become well-defined.  All inputs are virtual
+    time, so two runs with the same fault seed produce bit-identical
+    snapshots.
+    """
+
+    #: Crash counts by reason ("guest-panic", "watchdog", "guest-oom", ...).
+    crashes: Dict[str, int] = field(default_factory=dict)
+    #: Successful restarts (each contributes one MTTR sample).
+    restarts: int = 0
+    #: Transient boot failures that were retried successfully.
+    boot_retries: int = 0
+    #: Containers that never booted (retry budget exhausted).
+    boot_failures: int = 0
+    #: Containers abandoned after exhausting their restart budget.
+    gave_up: int = 0
+    #: Crash-to-recovered durations (restart backoff + re-boot).
+    mttr: LatencyStats = field(default_factory=lambda: LatencyStats("mttr"))
+    #: Accumulated container-down time across the fleet.
+    total_downtime_ns: int = 0
+    #: Observation span (the fleet makespan), set by :meth:`finalize`.
+    span_ns: int = 0
+    #: Fleet size, set by :meth:`finalize`.
+    members: int = 0
+
+    def record_crash(self, reason: str) -> None:
+        """Count one detected container crash by reason."""
+        self.crashes[reason] = self.crashes.get(reason, 0) + 1
+
+    def record_restart(self, downtime_ns: int) -> None:
+        """Count one successful restart and its outage duration."""
+        self.restarts += 1
+        self.mttr.add(downtime_ns)
+        self.total_downtime_ns += downtime_ns
+
+    def finalize(self, span_ns: int, members: int) -> None:
+        """Fix the observation window once the fleet run completes."""
+        self.span_ns = span_ns
+        self.members = members
+
+    @property
+    def total_crashes(self) -> int:
+        """Crashes across all reasons."""
+        return sum(self.crashes.values())
+
+    @property
+    def mttr_ns(self) -> float:
+        """Mean time to recovery across successful restarts."""
+        return self.mttr.mean
+
+    @property
+    def availability(self) -> float:
+        """Fraction of fleet member-time the containers were up.
+
+        ``1 - downtime / (members * span)``; containers that never
+        booted or were abandoned contribute their full remaining window
+        as downtime (added by the supervisor before :meth:`finalize`).
+
+        Degenerate windows: with no observed span, availability is 0.0
+        when anything failed permanently (a fleet where every boot
+        failed never ran at all) and 1.0 otherwise.
+        """
+        denom = self.members * self.span_ns
+        if denom <= 0:
+            return 0.0 if (self.boot_failures or self.gave_up) else 1.0
+        return max(0.0, 1.0 - self.total_downtime_ns / denom)
+
+    def snapshot(self) -> Dict[str, float]:
+        """A flat, sorted-key dict for bit-identity comparisons."""
+        out: Dict[str, float] = {
+            "availability": self.availability,
+            "boot_failures": float(self.boot_failures),
+            "boot_retries": float(self.boot_retries),
+            "gave_up": float(self.gave_up),
+            "members": float(self.members),
+            "mttr_ns": self.mttr_ns,
+            "restarts": float(self.restarts),
+            "span_ns": float(self.span_ns),
+            "total_downtime_ns": float(self.total_downtime_ns),
+        }
+        for reason in sorted(self.crashes):
+            out[f"crashes:{reason}"] = float(self.crashes[reason])
+        return out
+
+
+# ---------------------------------------------------------------------------
 # Per-phase machine statistics (benchmark phases must not leak counts)
 # ---------------------------------------------------------------------------
 

@@ -15,6 +15,7 @@ from typing import Callable, Dict, Generator, List, Optional, Sequence
 
 from repro.hypervisors.base import CpuCtx, Machine
 from repro.sim.engine import Engine, SimTask
+from repro.sim.stats import RecoveryStats
 
 
 WorkloadFactory = Callable[..., Generator[None, None, None]]
@@ -46,6 +47,9 @@ class WorkloadResult:
     completions_ns: List[int]
     #: Counter snapshot accumulated across all shared machines.
     counters: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Failure-recovery scoreboard; set only by supervised fleet runs
+    #: (a fault plan installed on the runtime), None otherwise.
+    recovery: Optional[RecoveryStats] = None
 
     @property
     def makespan_s(self) -> float:

@@ -62,6 +62,7 @@ class TestExperimentRegistry:
             "bootstorm",  # §4.4 concurrent startup
             "table1", "table2", "fig2", "fig4", "fig10",
             "table3", "table4", "fig11", "fig12", "fig13",
+            "chaos",  # fault-injection / availability extension
         }
 
 
