@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List
 
@@ -56,7 +57,8 @@ def main(argv: List[str] = None) -> int:
         "experiments", nargs="*",
         help="experiment ids (table1, table2, fig2, fig4, fig10, table3, "
              "table4, fig11, fig12, fig13, chaos) or 'all'; 'wallclock' "
-             "runs the simulator-throughput microbenchmark",
+             "runs the simulator-throughput microbenchmark; 'selftest' "
+             "runs the sanitizer bug drills + a sanitized chaos smoke",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument(
@@ -83,6 +85,14 @@ def main(argv: List[str] = None) -> int:
              "result cache keys on code, not runtime parameters",
     )
     parser.add_argument(
+        "--sanitize", nargs="?", const="sampled", default=None,
+        choices=["sampled", "full"], metavar="MODE",
+        help="attach the runtime sanitizers (repro.sanitize) to every "
+             "machine: MODE is 'sampled' (default) or 'full'; implies "
+             "recomputing every row, since cached rows would skip the "
+             "checks",
+    )
+    parser.add_argument(
         "--chart", action="store_true",
         help="render figures as ASCII bar charts instead of tables",
     )
@@ -95,6 +105,19 @@ def main(argv: List[str] = None) -> int:
         help="(wallclock only) rewrite BENCH_walk.json from this run",
     )
     args = parser.parse_args(argv)
+
+    if args.sanitize is not None:
+        # Machines consult PVM_SANITIZE at construction, so the flag
+        # reaches every machine any experiment builds — including in
+        # worker processes, which inherit the environment.
+        os.environ["PVM_SANITIZE"] = args.sanitize
+
+    if "selftest" in args.experiments:
+        # Sanitizer smoke gate: seeded bug drills (each checker must
+        # catch its planted bug) + one sanitized chaos scenario.
+        from repro.sanitize.selftest import run_selftest
+
+        return run_selftest(mode=args.sanitize or "sampled")
 
     if "wallclock" in args.experiments:
         # Simulator-throughput benchmark: separate driver, separate
@@ -117,17 +140,22 @@ def main(argv: List[str] = None) -> int:
         print(f"unknown experiments: {unknown}", file=sys.stderr)
         return 2
 
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    use_cache = not args.no_cache and args.sanitize is None
+    cache = ResultCache(args.cache_dir) if use_cache else None
     engine_wanted = list(dict.fromkeys(wanted))
     reseeded = None
-    if args.fault_seed is not None and "chaos" in engine_wanted:
-        # A re-seeded chaos run is a different result than the
-        # canonical one; the cache keys on code + scale only, so route
-        # it around the work-unit engine entirely.
+    if ((args.fault_seed is not None or args.sanitize is not None)
+            and "chaos" in engine_wanted):
+        # A re-seeded (or sanitized) chaos run is a different result
+        # than the canonical one; the cache keys on code + scale only,
+        # so route it around the work-unit engine entirely.
         from repro.bench.experiments import chaos as chaos_experiment
 
         engine_wanted.remove("chaos")
-        reseeded = chaos_experiment(scale=args.scale, seed=args.fault_seed)
+        reseeded = chaos_experiment(
+            scale=args.scale, seed=args.fault_seed,
+            sanitize=args.sanitize is not None,
+        )
     results, stats = run_experiments(
         engine_wanted, scale=args.scale, jobs=args.jobs, cache=cache
     )

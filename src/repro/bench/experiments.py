@@ -727,25 +727,47 @@ def _chaos_keys(scale: float = 1.0) -> Tuple[str, ...]:
     return _CHAOS_ROWS
 
 
-def _chaos_row(scenario: str, scale: float = 1.0,
-               seed: int = CHAOS_DEFAULT_SEED) -> RowData:
-    runtime = RunDRuntime(scenario, fault_plan=_chaos_plan(seed))
+def _chaos_run(scenario: str, scale: float, seed: int,
+               sanitize: bool) -> Tuple[RowData, int, int]:
+    """One chaos fleet run; returns (row, sanitize checks, violations).
+
+    The row values are independent of ``sanitize``: sanitizer checks
+    run outside virtual time, so the sanitized fleet produces the same
+    availability/MTTR/makespan bits as the plain one.
+    """
+    config = MachineConfig(sanitize=True) if sanitize else None
+    runtime = RunDRuntime(scenario, config=config,
+                          fault_plan=_chaos_plan(seed))
     res = runtime.run_fleet(
         _CHAOS_FLEET, APPS["blogbench"],
         rounds=scaled_iterations(30, scale),
     )
+    checks = violations = 0
+    for container in runtime.containers:
+        suite = container.machine.sanitizers
+        if suite is not None:
+            checks += suite.report.total_checks
+            violations += len(suite.violations)
     r = res.recovery
-    return scenario, [
+    row: RowData = (scenario, [
         r.availability,
         r.mttr_ns / 1e6,
         float(r.restarts),
         float(r.total_crashes),
         float(r.boot_retries),
         res.makespan_ns / 1e6,
-    ]
+    ])
+    return row, checks, violations
 
 
-def chaos(scale: float = 1.0, seed: Optional[int] = None) -> ExperimentResult:
+def _chaos_row(scenario: str, scale: float = 1.0,
+               seed: int = CHAOS_DEFAULT_SEED) -> RowData:
+    row, _, _ = _chaos_run(scenario, scale, seed, sanitize=False)
+    return row
+
+
+def chaos(scale: float = 1.0, seed: Optional[int] = None,
+          sanitize: bool = False) -> ExperimentResult:
     """Chaos run: the same fault plan injected into every deployment
     scenario's container fleet, comparing how each recovers.
 
@@ -760,13 +782,29 @@ def chaos(scale: float = 1.0, seed: Optional[int] = None) -> ExperimentResult:
     ``seed=None`` runs the canonical seeded plan through the cacheable
     spec; an explicit seed recomputes every row directly (never cached —
     the result cache keys on code + scale only, not runtime
-    parameters).
+    parameters).  ``sanitize=True`` runs every fleet with the runtime
+    sanitizers attached (also bypassing the cache) and records the
+    aggregate check/violation totals in ``result.notes`` — the row
+    values themselves are unchanged, since sanitizer checks run outside
+    virtual time.  A violation raises
+    :class:`repro.sanitize.SanitizerError` out of the run.
     """
-    if seed is None:
+    if seed is None and not sanitize:
         return EXPERIMENT_SPECS["chaos"].run_serial(scale)
     result = _chaos_header(scale)
+    checks = violations = 0
     for scenario in _CHAOS_ROWS:
-        result.add(*_chaos_row(scenario, scale, seed))
+        row, c, v = _chaos_run(
+            scenario, scale, seed if seed is not None else CHAOS_DEFAULT_SEED,
+            sanitize=sanitize,
+        )
+        result.add(*row)
+        checks += c
+        violations += v
+    if sanitize:
+        result.notes = (
+            f"sanitize: {checks} checks, {violations} violations"
+        )
     return result
 
 

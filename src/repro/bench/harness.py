@@ -101,6 +101,9 @@ def measure_concurrent_op_ns(
     staged: List[Tuple[SimTask, object]] = []
     for machine in machines:
         ctx = machine.new_context()
+        suite = machine.sanitizers
+        if suite is not None and suite.lockdep not in engine.lockdeps:
+            engine.lockdeps.append(suite.lockdep)
         proc = machine.spawn_process()
         gen = factory(machine, ctx, proc, **params)
         try:

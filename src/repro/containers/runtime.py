@@ -263,6 +263,10 @@ class RunDRuntime:
                 fleet = self.launch_fleet(n)
             engine = Engine(max_steps=max_steps)
             for container in fleet:
+                suite = container.machine.sanitizers
+                if suite is not None:
+                    engine.lockdeps.append(suite.lockdep)
+            for container in fleet:
                 task = SimTask(
                     name=container.container_id,
                     clock=container.ctx.clock,
@@ -350,9 +354,16 @@ class RunDRuntime:
             recovery.record_crash(reason)
             container.mark_crashed()
             # Reclaim the dead guest's frames so restarts don't leak
-            # guest-physical memory across lifetimes.
+            # guest-physical memory across lifetimes, and tear down the
+            # host-side translation state (shadow tables, TLB/PSC tags)
+            # exactly as destroying the VM would — without the teardown,
+            # a relaunched guest that reuses the PCID window could hit
+            # the dead lifetime's cached translations.
             try:
                 machine.kernel.exit_process(container.init)
+                machine.on_process_destroyed(container.ctx, container.init)
+                for mctx in machine.contexts:
+                    mctx.mmu.drop_vpid(machine.vpid)
             except Exception:
                 pass
             state["failures"] += 1

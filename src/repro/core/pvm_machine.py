@@ -260,6 +260,9 @@ class PvmMachine(Machine):
             work_ns=work,
             structural=result.structural,
         )
+        san = self.sanitizers
+        if san is not None:
+            san.shadow.after_sync(ctx, proc, vpn, gpt_pte, result)
 
     # -- write-protected GPT2 ------------------------------------------------------------
 
@@ -307,6 +310,9 @@ class PvmMachine(Machine):
                     work_ns=self.costs.spt_sync_per_entry // 2,
                 )
         self._flush_after_unmap(ctx, proc, len(vpns))
+        san = self.sanitizers
+        if san is not None:
+            san.shadow.after_zap(ctx, proc, vpns)
 
     def invalidate_asid(self, ctx: CpuCtx, proc: Process) -> None:
         """Flush one process's translations."""

@@ -186,6 +186,30 @@ class ShadowManager:
         table = self._spts.get((proc.pid, half))
         return table.lookup(vpn) if table is not None else None
 
+    def coherence_error(
+        self, proc: Process, vpn: int, gpt_pte: Pte, target: int
+    ) -> Optional[str]:
+        """Audit the shadow entries for one guest PTE (sanitizer oracle).
+
+        Read-only: compares every half's shadow entry against the guest
+        PTE and the expected ``target`` frame, returning a description
+        of the first incoherence or ``None`` when everything agrees.
+        Charges nothing and mutates nothing.
+        """
+        for half in self.halves(proc):
+            pte = self.lookup(proc, vpn, half)
+            if pte is None:
+                return f"{half}-half shadow entry missing"
+            if pte.huge != gpt_pte.huge:
+                return (f"{half}-half page-size mismatch "
+                        f"(shadow huge={pte.huge}, guest huge={gpt_pte.huge})")
+            if pte.frame != target:
+                return (f"{half}-half shadow target {pte.frame:#x} != "
+                        f"expected {target:#x}")
+            if pte.writable and not gpt_pte.writable:
+                return f"{half}-half shadow writable but guest PTE read-only"
+        return None
+
     # -- reverse-map operations -----------------------------------------------------------
 
     def entries_for_gfn(self, gfn: int) -> Set[Tuple[int, str, int]]:

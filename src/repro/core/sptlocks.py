@@ -41,6 +41,27 @@ class SptLockManager:
         self.meta_lock = SimLock("pvm-meta_lock", events)
         self.pt_locks = LockSet("pvm-pt_lock", events)
         self.rmap_locks = LockSet("pvm-rmap_lock", events)
+        #: Optional LockdepSanitizer; see :meth:`install_lockdep`.
+        self.lockdep = None
+
+    def install_lockdep(self, lockdep) -> None:
+        """Attach a lockdep sanitizer and classify every member lock.
+
+        The legal fine-grained acquisition order (paper §3.3.2) is
+        ``meta_lock`` → ``pt_lock`` → ``rmap_lock``; the lockdep ranks
+        come from that ordering.  ``mmu_lock`` keeps a singleton class —
+        the global regime never nests it with the fine-grained locks.
+        """
+        self.lockdep = lockdep
+        self.meta_lock.lockdep = lockdep
+        self.meta_lock.lock_class = "meta"
+        self.mmu_lock.lockdep = lockdep
+        for lockset, cls in ((self.pt_locks, "pt"), (self.rmap_locks, "rmap")):
+            lockset.lockdep = lockdep
+            lockset.lock_class = cls
+            for member in lockset._locks.values():
+                member.lockdep = lockdep
+                member.lock_class = cls
 
     def locked_fix(
         self,
@@ -63,21 +84,34 @@ class SptLockManager:
         """
         if work_ns < 0:
             raise ValueError("work_ns must be non-negative")
-        if not self.fine_grained:
-            self.mmu_lock.run_locked(
-                clock,
-                hold_ns=self.costs.mmu_lock_hold + work_ns,
-                overhead_ns=self.costs.mmu_lock_op,
-            )
-            return
-        # Lock-free portion first (walk + target computation).
-        clock.advance(work_ns)
-        hold = self.costs.finegrained_lock_hold
-        op = self.costs.finegrained_lock_op
-        if structural:
-            self.meta_lock.run_locked(clock, hold_ns=hold, overhead_ns=op)
-        self.pt_locks.get(pt_key).run_locked(clock, hold_ns=hold, overhead_ns=op)
-        self.rmap_locks.get(gfn).run_locked(clock, hold_ns=hold, overhead_ns=op)
+        # Lockdep scopes the fix as one *operation*: the timeline lock
+        # model makes each acquire+release atomic, so ordering is
+        # checked across the acquisitions of one logical fix rather
+        # than a held-lock stack.
+        ld = self.lockdep
+        if ld is not None:
+            ld.begin_op(("locked_fix", pt_key, gfn))
+        try:
+            if not self.fine_grained:
+                self.mmu_lock.run_locked(
+                    clock,
+                    hold_ns=self.costs.mmu_lock_hold + work_ns,
+                    overhead_ns=self.costs.mmu_lock_op,
+                )
+                return
+            # Lock-free portion first (walk + target computation).
+            clock.advance(work_ns)
+            hold = self.costs.finegrained_lock_hold
+            op = self.costs.finegrained_lock_op
+            if structural:
+                self.meta_lock.run_locked(clock, hold_ns=hold, overhead_ns=op)
+            self.pt_locks.get(pt_key).run_locked(clock, hold_ns=hold,
+                                                 overhead_ns=op)
+            self.rmap_locks.get(gfn).run_locked(clock, hold_ns=hold,
+                                                overhead_ns=op)
+        finally:
+            if ld is not None:
+                ld.end_op()
 
     # -- accounting ----------------------------------------------------------
 

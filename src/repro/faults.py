@@ -23,6 +23,15 @@ Determinism contract
 * With no :class:`FaultPlan` installed anywhere, every consulting code
   path is a no-op and all results are unchanged.
 
+Fault injection composes with the runtime sanitizers
+(:mod:`repro.sanitize`): ``pvm-bench chaos --sanitize`` runs the same
+seeded fault mix with shadow-coherence, lockdep, and VMX state-machine
+checking attached, proving every recovery path (crash teardown, restart
+re-serialization, boot retries) completes without leaving stale
+translations, inverted lock orders, or illegal VMCS transitions — and
+since the checks run outside virtual time, the sanitized rows are
+bit-identical to the plain ones.
+
 Sites
 -----
 

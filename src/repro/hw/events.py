@@ -103,6 +103,12 @@ class EventLog:
         self.faults_injected = Counter("faults_injected")
         #: Supervisor recovery actions ("restart", "gave-up", ...).
         self.recoveries = Counter("recoveries")
+        #: Sanitizer violations by kind (always zero unless a run with
+        #: ``MachineConfig(sanitize=True)`` / ``PVM_SANITIZE`` tripped an
+        #: invariant — and those runs raise, so a non-zero count in a
+        #: surviving snapshot means violations were deliberately
+        #: collected, e.g. by the selftest drills).
+        self.sanitizer_violations = Counter("sanitizer_violations")
 
     # -- recording -------------------------------------------------------
 
@@ -169,6 +175,10 @@ class EventLog:
         """Record one supervisor recovery action by kind."""
         self.recoveries.add(1, key=kind)
 
+    def sanitizer_violation(self, kind: str) -> None:
+        """Record one runtime-sanitizer violation by kind."""
+        self.sanitizer_violations.add(1, key=kind)
+
     # -- inspection --------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict[str, int]]:
@@ -200,6 +210,7 @@ class EventLog:
             self.emulations,
             self.faults_injected,
             self.recoveries,
+            self.sanitizer_violations,
         )
 
 

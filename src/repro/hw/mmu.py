@@ -57,6 +57,7 @@ class Mmu:
     __slots__ = (
         "tlb", "events", "costs", "psc", "_gpa_cache",
         "_tlb_entries", "_tlb_get", "_tlb_stats", "_hit_ns",
+        "sanitizer",
     )
 
     def __init__(
@@ -81,6 +82,9 @@ class Mmu:
         self._tlb_get = tlb._entries.get  # bound once; dict never rebound
         self._tlb_stats = tlb.stats
         self._hit_ns = costs.tlb_hit
+        #: Optional ShadowCoherenceSanitizer; consulted only on the cold
+        #: flush paths (never on the translation hot path).
+        self.sanitizer = None
 
     # -- one-dimensional translation ----------------------------------------
 
@@ -277,15 +281,19 @@ class Mmu:
 
     # -- flush helpers --------------------------------------------------------
 
-    def flush_page(self, clock: Clock, asid: Asid, vpn: int) -> None:
-        """INVLPG one translation."""
-        self.tlb.flush_page(asid, vpn)
+    def flush_page(self, clock: Clock, asid: Asid, vpn: int) -> int:
+        """INVLPG one translation.  Returns entries dropped (0 or 1)."""
+        n = self.tlb.flush_page(asid, vpn)
         if self.psc is not None:
             # INVLPG also flushes paging-structure-cache entries for the
             # address (SDM vol. 3 §4.10.4.1).
             self.psc.invalidate_page(asid.key, vpn)
         self.events.tlb_flush("page")
         clock.advance(self.costs.tlb_flush_op)
+        san = self.sanitizer
+        if san is not None:
+            san.check_flush_page(self.tlb, asid, vpn)
+        return n
 
     def flush_pcid(self, clock: Clock, asid: Asid) -> int:
         """Flush one (VPID, PCID) — the fine-grained flush PVM's PCID
@@ -295,6 +303,9 @@ class Mmu:
             self.psc.invalidate_asid(asid.key)
         self.events.tlb_flush("pcid")
         clock.advance(self.costs.tlb_flush_op)
+        san = self.sanitizer
+        if san is not None:
+            san.check_flush_pcid(self.tlb, asid)
         return n
 
     def flush_vpid(self, clock: Clock, vpid: int) -> int:
@@ -306,6 +317,9 @@ class Mmu:
             self._gpa_cache.clear()
         self.events.tlb_flush("vpid")
         clock.advance(self.costs.tlb_flush_op + self.costs.tlb_vpid_flush_extra)
+        san = self.sanitizer
+        if san is not None:
+            san.check_flush_vpid(self.tlb, vpid)
         return n
 
     def flush_all(self, clock: Clock) -> int:
@@ -316,6 +330,9 @@ class Mmu:
             self._gpa_cache.clear()
         self.events.tlb_flush("full")
         clock.advance(self.costs.tlb_flush_op + self.costs.tlb_vpid_flush_extra)
+        san = self.sanitizer
+        if san is not None:
+            san.check_flush_all(self.tlb)
         return n
 
     def drop_vpid(self, vpid: int) -> int:
@@ -330,4 +347,7 @@ class Mmu:
         if self.psc is not None:
             self.psc.invalidate_vpid(vpid)
             self._gpa_cache.clear()
+        san = self.sanitizer
+        if san is not None:
+            san.check_flush_vpid(self.tlb, vpid)
         return n

@@ -208,8 +208,12 @@ class Tlb:
         self.stats.entries_flushed += len(victims)
         return len(victims)
 
-    def flush_page(self, asid: Asid, vpn: int) -> bool:
-        """INVLPG: drop the translation covering one page."""
+    def flush_page(self, asid: Asid, vpn: int) -> int:
+        """INVLPG: drop the translation covering one page.
+
+        Returns the number of entries dropped (0 or 1), matching the
+        count contract of the other ``flush_*`` methods.
+        """
         self.stats.flushes_page += 1
         akey = asid.key
         entry = self._entries.pop(_key4k(akey, vpn), None)
@@ -222,10 +226,27 @@ class Tlb:
                 self.stats.flushes_huge_demotions += 1
         if entry is not None:
             self.stats.entries_flushed += 1
-            return True
-        return False
+            return 1
+        return 0
 
     # -- inspection ---------------------------------------------------------
+
+    def peek_packed(self, akey: int, vpn: int) -> Optional[int]:
+        """Side-effect-free probe by pre-packed ASID key.
+
+        Same resolution as :meth:`lookup_packed` (4K entry first, then
+        the covering 2 MiB entry) but touches no hit/miss counters —
+        this is the sanitizer's oracle probe, which must not perturb
+        the statistics it is auditing.
+        """
+        entries = self._entries
+        entry = entries.get((akey << KEY_SHIFT) | vpn)
+        if entry is not None:
+            return entry.frame
+        entry = entries.get((akey << KEY_SHIFT) | HUGE_TAG | (vpn >> 9))
+        if entry is not None:
+            return entry.frame + (vpn % HUGE_SPAN)
+        return None
 
     def entries_for_vpid(self, vpid: int) -> int:
         """Count cached entries tagged with one VPID."""

@@ -100,6 +100,10 @@ class VmcsShadow:
     _merged_gen01: int = field(init=False, default=-1)
     _merged_gen12: int = field(init=False, default=-1)
     merges: int = 0
+    #: Optional VmxStateSanitizer notified on every merge (attached
+    #: after construction, so the ``__post_init__`` bootstrap merge is
+    #: never checked — there is no legality question before L2 exists).
+    sanitizer: Optional[object] = None
 
     def __post_init__(self) -> None:
         self.vmcs02 = Vmcs(name="VMCS02")
@@ -115,6 +119,8 @@ class VmcsShadow:
 
     def merge(self) -> Vmcs:
         """Recompute VMCS02 from VMCS01 + VMCS12 (L0 root-mode work)."""
+        if self.sanitizer is not None:
+            self.sanitizer.on_merge()
         self.vmcs02.guest_cr3_frame = self.vmcs12.guest_cr3_frame
         self.vmcs02.guest_pcid = self.vmcs12.guest_pcid
         # The EPTP in VMCS02 is L0's choice: under SPT-on-EPT it is EPT01

@@ -74,6 +74,15 @@ class MachineConfig:
     #: build page tables collaboratively; GPT writes no longer trap and
     #: the dirty entries are synchronized in batch on the iret path.
     wp_less_sync: bool = False
+    # -- runtime sanitizers (repro.sanitize) ------------------------------
+    #: Attach the runtime-invariant sanitizers (shadow coherence,
+    #: lockdep, VMX state machine).  Off by default: checks charge no
+    #: virtual time, but they cost host CPU.  Also switchable via the
+    #: ``PVM_SANITIZE`` environment variable (``1``/``sampled``/``full``).
+    sanitize: bool = False
+    #: "sampled" cross-checks a deterministic subset of TLB entries per
+    #: sync; "full" audits every cached entry after every SPT fix/zap.
+    sanitize_mode: str = "sampled"
 
 
 @dataclass
@@ -136,6 +145,12 @@ class Machine(abc.ABC):
         self._backing: Dict[int, int] = {}
         #: Base gfns of 2 MiB guest allocations (for huge EPT/shadow fills).
         self._huge_gfn_bases: set = set()
+        #: Runtime-sanitizer suite (:class:`repro.sanitize.SanitizerSuite`)
+        #: or None.  Attached lazily at the first ``new_context`` so
+        #: subclass state (locks, VMCS shadows, shared l0_lock rebinding)
+        #: exists before the checkers wire into it.
+        self.sanitizers = None
+        self._sanitize_checked = False
 
     # ------------------------------------------------------------------
     # context / process management
@@ -143,6 +158,9 @@ class Machine(abc.ABC):
 
     def new_context(self) -> CpuCtx:
         """Create one vCPU context (clock + private TLB [+ PSC])."""
+        if not self._sanitize_checked:
+            self._sanitize_checked = True
+            self._maybe_attach_sanitizers()
         cpu_id = len(self.contexts)
         tlb = Tlb(self.config.tlb_capacity)
         psc = (
@@ -155,8 +173,18 @@ class Machine(abc.ABC):
             tlb=tlb,
             mmu=Mmu(tlb, self.events, self.costs, psc=psc),
         )
+        if self.sanitizers is not None:
+            ctx.mmu.sanitizer = self.sanitizers.shadow
         self.contexts.append(ctx)
         return ctx
+
+    def _maybe_attach_sanitizers(self) -> None:
+        """Attach the sanitizer suite when config or env asks for it."""
+        from repro.sanitize import attach_sanitizers, resolve_mode
+
+        mode = resolve_mode(self.config)
+        if mode is not None:
+            attach_sanitizers(self, mode=mode)
 
     def spawn_process(self, vmas: Optional[List[Vma]] = None) -> Process:
         """Create the guest's next process."""

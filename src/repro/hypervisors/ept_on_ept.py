@@ -219,6 +219,9 @@ class EptOnEptMachine(NestedVmxMixin, Machine):
     def deliver_timer(self, ctx: CpuCtx) -> None:
         """External interrupt: L2 exits to L0, L0 injects into L1, L1
         handles and re-enters L2 through a full merge/reload."""
+        san = self.vmx_sanitizer
+        if san is not None:
+            san.vm_exit("interrupt")
         ctx.clock.advance(self.costs.hw_world_switch)
         self.events.switch(SwitchKind.HW_L2_L0, ctx.clock.now, ctx.cpu_id)
         self.events.l0_trap("interrupt")

@@ -31,6 +31,8 @@ class NestedVmxMixin:
         self.vmcs_shadow = VmcsShadow(self.vmcs01, self.vmcs12)
         self.caps = VmxCapabilities.emulated_nested()
         self.caps.require_vmx(self.name)
+        #: VMX state-machine sanitizer (repro.sanitize); None when off.
+        self.vmx_sanitizer = None
 
     # -- protocol legs -----------------------------------------------------
 
@@ -44,6 +46,9 @@ class NestedVmxMixin:
         charged under the lock too, since it manipulates shared VMCS and
         injection state for this VM.
         """
+        san = self.vmx_sanitizer
+        if san is not None:
+            san.vm_exit(reason)
         ctx.clock.advance(self.costs.hw_world_switch)
         self.events.switch(SwitchKind.HW_L2_L0, ctx.clock.now, ctx.cpu_id)
         self.events.l0_trap("l2-exit:" + reason)
@@ -69,6 +74,9 @@ class NestedVmxMixin:
             ctx.clock, self.costs.vmcs_merge_reload + serialized_ns
         )
         self.vmcs_shadow.merge()
+        san = self.vmx_sanitizer
+        if san is not None:
+            san.vm_entry("vmresume")
         ctx.clock.advance(self.costs.hw_world_switch)
         self.events.switch(SwitchKind.HW_L2_L0, ctx.clock.now, ctx.cpu_id)
 
@@ -88,11 +96,18 @@ class NestedVmxMixin:
                         reason: str = "l0-direct") -> None:
         """An L2 exit L0 handles directly without waking L1 (e.g. the
         final EPT02 fix): L2 -> L0 -> L2."""
+        san = self.vmx_sanitizer
+        if san is not None:
+            san.vm_exit(reason)
         ctx.clock.advance(self.costs.hw_world_switch)
         self.events.switch(SwitchKind.HW_L2_L0, ctx.clock.now, ctx.cpu_id)
         self.events.l0_trap("l2-direct:" + reason)
         self.l0_lock.run_locked(ctx.clock, work_ns)
         self.events.emulate(reason)
+        if san is not None:
+            # Direct L0 handling re-enters on the unchanged VMCS02 — no
+            # merge needed (nothing bumped VMCS01/VMCS12 generations).
+            san.vm_entry("l2-direct:" + reason)
         ctx.clock.advance(self.costs.hw_world_switch)
         self.events.switch(SwitchKind.HW_L2_L0, ctx.clock.now, ctx.cpu_id)
 

@@ -235,6 +235,9 @@ class SptOnEptMachine(NestedVmxMixin, Machine):
 
     def deliver_timer(self, ctx: CpuCtx) -> None:
         """External timer interrupt while the guest runs."""
+        san = self.vmx_sanitizer
+        if san is not None:
+            san.vm_exit("interrupt")
         ctx.clock.advance(self.costs.hw_world_switch)
         self.events.switch(SwitchKind.HW_L2_L0, ctx.clock.now, ctx.cpu_id)
         self.events.l0_trap("interrupt")

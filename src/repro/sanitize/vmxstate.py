@@ -1,0 +1,95 @@
+"""VMX state-machine sanitizer for the nested (VMCS-shadowing) stacks.
+
+Tracks whether L2 is currently *in* VMX non-root execution on the
+merged VMCS02 and validates every transition against the legality
+table of the VMCS01/VMCS12/VMCS02 protocol:
+
+==========================  ============================================
+``vm_exit``                 only legal while L2 is running (no exit
+                            without a prior entry)
+``vm_entry``                only legal while L2 is *not* running (no
+                            double entry), and only from a freshly
+                            merged shadow — entering on a stale VMCS02
+                            would run L2 on outdated control state
+``on_merge``                only legal while L2 is not running: L0
+                            cannot rewrite VMCS02 under a live guest
+==========================  ============================================
+
+The machine starts with L2 running (the workload begins in guest
+mode; the bootstrap merge in ``VmcsShadow.__post_init__`` happens
+before the sanitizer attaches and is deliberately unchecked).
+
+A bounded transition history is kept as the witness attached to any
+violation, so a report shows the exact exit/entry/merge sequence that
+led to the illegal transition.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sanitize.core import SanitizeReport, Violation
+
+#: Transitions remembered for violation witnesses.
+HISTORY_LEN = 12
+
+
+class VmxStateSanitizer:
+    """Legality checking of VMCS02 entry/exit/merge transitions."""
+
+    def __init__(self, report: SanitizeReport,
+                 vmcs_shadow: Optional[object] = None) -> None:
+        self.report = report
+        self.vmcs_shadow = vmcs_shadow
+        #: True while L2 executes on VMCS02 (guests start in L2).
+        self.l2_running = True
+        self._history: List[str] = []
+
+    # -- transition hooks -------------------------------------------------
+
+    def vm_exit(self, reason: str) -> None:
+        """L2 -> L0 hardware exit on VMCS02."""
+        self.report.check("vmx")
+        if not self.l2_running:
+            self._violate("vmcs02-exit-without-entry",
+                          f"VM exit ({reason}) while L2 is not in "
+                          f"non-root execution")
+        self.l2_running = False
+        self._record(f"exit:{reason}")
+
+    def vm_entry(self, reason: str) -> None:
+        """L0 -> L2 hardware entry on VMCS02."""
+        self.report.check("vmx")
+        if self.l2_running:
+            self._violate("vmcs02-double-entry",
+                          f"VM entry ({reason}) while L2 is already in "
+                          f"non-root execution")
+        shadow = self.vmcs_shadow
+        if shadow is not None and shadow.stale:
+            self._violate("vmcs02-stale-entry",
+                          f"VM entry ({reason}) on a stale VMCS02 "
+                          f"(shadow lags VMCS01 gen {shadow.vmcs01.generation}"
+                          f" / VMCS12 gen {shadow.vmcs12.generation})")
+        self.l2_running = True
+        self._record(f"entry:{reason}")
+
+    def on_merge(self) -> None:
+        """L0 recomputes VMCS02 (called from ``VmcsShadow.merge``)."""
+        self.report.check("vmx")
+        if self.l2_running:
+            self._violate("vmcs02-merge-while-l2-running",
+                          "VMCS02 merge while L2 is in non-root execution")
+        self._record("merge")
+
+    # -- internals ---------------------------------------------------------
+
+    def _record(self, what: str) -> None:
+        self._history.append(what)
+        if len(self._history) > HISTORY_LEN:
+            del self._history[0]
+
+    def _violate(self, kind: str, detail: str) -> None:
+        self.report.violation(Violation(
+            checker="vmx", kind=kind, detail=detail,
+            witness=("transitions: " + " -> ".join(self._history or ("<none>",)),),
+        ))

@@ -69,6 +69,10 @@ class Engine:
         self.tasks: List[SimTask] = []
         self._wakeups: List[Tuple[int, int, SimTask]] = []
         self._seq = itertools.count()
+        #: LockdepSanitizers to notify on :meth:`park` (a task parking
+        #: with an operation's locks still marked held is a deadlock
+        #: hazard).  Empty unless sanitizers are attached.
+        self.lockdeps: List[object] = []
 
     def add(self, task: SimTask) -> SimTask:
         """Register a task with the engine and return it."""
@@ -87,6 +91,8 @@ class Engine:
         Parking an already-parked task moves its wake time (the stale
         wakeup entry is ignored when popped).
         """
+        for ld in self.lockdeps:
+            ld.note_park(task.name)
         task.parked_until = wake_at
         heapq.heappush(self._wakeups, (wake_at, next(self._seq), task))
 

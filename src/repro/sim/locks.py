@@ -36,6 +36,13 @@ class SimLock:
         #: acquisition's hold, so every later waiter queues behind it.
         self.stall_hook = None
         self.stalls_injected_ns = 0
+        #: Optional :class:`repro.sanitize.lockdep.LockdepSanitizer`;
+        #: when set, every acquisition is reported to it.  Checks charge
+        #: no virtual time, so results are identical with or without.
+        self.lockdep = None
+        #: Lockdep ordering class ("meta", "pt", "rmap", ...).  ``None``
+        #: means the lock gets its own singleton class (its name).
+        self.lock_class: Optional[str] = None
 
     def run_locked(self, clock: Clock, hold_ns: int, overhead_ns: int = 0) -> int:
         """Execute a critical section of ``hold_ns`` under this lock.
@@ -43,9 +50,17 @@ class SimLock:
         ``overhead_ns`` is the uncontended acquire/release cost.  The
         caller's clock is advanced past any wait, the hold, and the
         overhead.  Returns the wait time experienced.
+
+        Note that ``hold_ns=0`` is a real acquisition, not a no-op: the
+        lock is still taken and released, so ``overhead_ns`` is still
+        charged and ``free_at`` still advances past it.  (An empty
+        critical section on real hardware still pays the atomic
+        acquire/release.)
         """
         if hold_ns < 0 or overhead_ns < 0:
             raise ValueError("durations must be non-negative")
+        if self.lockdep is not None:
+            self.lockdep.note_acquire(self)
         if self.stall_hook is not None:
             extra = self.stall_hook(clock.now)
             if extra:
@@ -70,11 +85,12 @@ class SimLock:
         return self.total_wait_ns / self.acquisitions if self.acquisitions else 0.0
 
     def reset(self) -> None:
-        """Reset all counters/state."""
+        """Reset all counters/state, including any installed stall hook."""
         self.free_at = 0
         self.acquisitions = 0
         self.total_wait_ns = 0
         self.total_hold_ns = 0
+        self.stall_hook = None
         self.stalls_injected_ns = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -87,6 +103,10 @@ class LockSet:
 
     prefix: str
     events: Optional[EventLog] = None
+    #: Lockdep sanitizer + ordering class propagated to every member
+    #: lock created by :meth:`get` (None = lockdep off).
+    lockdep: Optional[object] = None
+    lock_class: Optional[str] = None
     _locks: Dict[object, SimLock] = field(default_factory=dict)
 
     def get(self, key: object) -> SimLock:
@@ -94,6 +114,8 @@ class LockSet:
         lock = self._locks.get(key)
         if lock is None:
             lock = SimLock(f"{self.prefix}[{key}]", self.events)
+            lock.lockdep = self.lockdep
+            lock.lock_class = self.lock_class
             self._locks[key] = lock
         return lock
 

@@ -264,3 +264,18 @@ def translation_stats(machine) -> Dict[str, float]:
         "psc_hit_rate": psc_hits / psc_lookups if psc_lookups else 0.0,
         "psc_gpa_hits": float(machine.events.psc_probes.get("gpa-hit")),
     }
+
+
+def sanitizer_stats(machine) -> Dict[str, float]:
+    """Runtime-sanitizer summary for one machine (zeros when off).
+
+    Flattens the :class:`repro.sanitize.SanitizeReport` snapshot:
+    total checks executed, per-checker check counts, and the violation
+    count (which is non-zero only if violations were collected with
+    ``raise_on_violation=False`` — by default the first violation
+    raises out of the run instead).
+    """
+    suite = getattr(machine, "sanitizers", None)
+    if suite is None:
+        return {"sanitize_checks": 0.0, "sanitize_violations": 0.0}
+    return {k: float(v) for k, v in suite.snapshot().items()}

@@ -93,8 +93,8 @@ class TestFlushes:
 
     def test_flush_page(self):
         tlb = self._filled()
-        assert tlb.flush_page(A1, 1) is True
-        assert tlb.flush_page(A1, 1) is False
+        assert tlb.flush_page(A1, 1) == 1
+        assert tlb.flush_page(A1, 1) == 0
 
     def test_flush_counters(self):
         tlb = self._filled()
@@ -113,7 +113,7 @@ class TestHugeDemotion:
         the stats must show the 512-page reach loss, not a plain flush."""
         tlb = Tlb()
         tlb.insert(A1, 512, frame=0x1000, huge=True)
-        assert tlb.flush_page(A1, 700) is True  # mid-run page
+        assert tlb.flush_page(A1, 700) == 1  # mid-run page
         assert tlb.stats.flushes_huge_demotions == 1
         assert tlb.stats.entries_flushed == 1
         # The entire run is gone, not just the flushed page.
@@ -123,8 +123,8 @@ class TestHugeDemotion:
     def test_4k_flush_is_not_a_demotion(self):
         tlb = Tlb()
         tlb.insert(A1, 1, 1)
-        assert tlb.flush_page(A1, 1) is True
-        assert tlb.flush_page(A1, 2) is False  # clean miss
+        assert tlb.flush_page(A1, 1) == 1
+        assert tlb.flush_page(A1, 2) == 0  # clean miss
         assert tlb.stats.flushes_huge_demotions == 0
 
     def test_demotion_counter_resets(self):
