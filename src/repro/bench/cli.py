@@ -56,9 +56,10 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "experiments", nargs="*",
         help="experiment ids (table1, table2, fig2, fig4, fig10, table3, "
-             "table4, fig11, fig12, fig13, chaos) or 'all'; 'wallclock' "
-             "runs the simulator-throughput microbenchmark; 'selftest' "
-             "runs the sanitizer bug drills + a sanitized chaos smoke",
+             "table4, fig11, fig12, fig13, chaos, overcommit) or 'all'; "
+             "'wallclock' runs the simulator-throughput microbenchmark; "
+             "'selftest' runs the sanitizer bug drills + a sanitized "
+             "chaos smoke",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument(
@@ -143,24 +144,24 @@ def main(argv: List[str] = None) -> int:
     use_cache = not args.no_cache and args.sanitize is None
     cache = ResultCache(args.cache_dir) if use_cache else None
     engine_wanted = list(dict.fromkeys(wanted))
-    reseeded = None
-    if ((args.fault_seed is not None or args.sanitize is not None)
-            and "chaos" in engine_wanted):
-        # A re-seeded (or sanitized) chaos run is a different result
-        # than the canonical one; the cache keys on code + scale only,
-        # so route it around the work-unit engine entirely.
-        from repro.bench.experiments import chaos as chaos_experiment
+    reseeded = {}
+    if args.fault_seed is not None or args.sanitize is not None:
+        # A re-seeded (or sanitized) fault-driven run is a different
+        # result than the canonical one; the cache keys on code + scale
+        # only, so route it around the work-unit engine entirely.
+        from repro.bench.experiments import chaos, overcommit
 
-        engine_wanted.remove("chaos")
-        reseeded = chaos_experiment(
-            scale=args.scale, seed=args.fault_seed,
-            sanitize=args.sanitize is not None,
-        )
+        for exp_id, fn in (("chaos", chaos), ("overcommit", overcommit)):
+            if exp_id in engine_wanted:
+                engine_wanted.remove(exp_id)
+                reseeded[exp_id] = fn(
+                    scale=args.scale, seed=args.fault_seed,
+                    sanitize=args.sanitize is not None,
+                )
     results, stats = run_experiments(
         engine_wanted, scale=args.scale, jobs=args.jobs, cache=cache
     )
-    if reseeded is not None:
-        results["chaos"] = reseeded
+    results.update(reseeded)
     if args.as_json:
         json_out = {
             exp_id: {

@@ -41,10 +41,12 @@ from repro.faults import (
     SITE_CONTAINER_BOOT,
     SITE_GUEST_PANIC,
     SITE_L0_STALL,
+    SITE_MEMORY_PRESSURE,
     FaultPlan,
 )
 from repro.hw.types import MIB
 from repro.hypervisors.base import MachineConfig
+from repro.memory.qos import MemoryQosConfig
 from repro.workloads import cloudsuite as cs
 from repro.workloads import lmbench
 from repro.workloads.apps import APPS
@@ -809,6 +811,146 @@ def chaos(scale: float = 1.0, seed: Optional[int] = None,
 
 
 # ---------------------------------------------------------------------------
+# Overcommit density sweep (memory QoS; robustness extension)
+# ---------------------------------------------------------------------------
+
+#: Seed of the canonical overcommit run; same contract as chaos — rows
+#: are pure functions of ``(ratio, scale)`` at this seed, so the sweep
+#: rides the parallel fan-out and result cache.  ``overcommit(seed=...)``
+#: / ``--fault-seed`` bypass both.
+OVERCOMMIT_DEFAULT_SEED = 2024
+_OVERCOMMIT_ROWS = ("0.5x", "1.0x", "1.5x")
+_OVERCOMMIT_HOST_MIB = 128
+_OVERCOMMIT_GUEST_MIB = 32
+
+
+def _overcommit_plan(seed: int) -> FaultPlan:
+    """Deterministic host memory-pressure spikes (an antagonist tenant
+    grabbing and releasing large host allocations)."""
+    plan = FaultPlan(seed=seed)
+    plan.add(SITE_MEMORY_PRESSURE, probability=0.25)
+    return plan
+
+
+def _overcommit_qos() -> MemoryQosConfig:
+    """The sweep's QoS knobs: admission caps the host at 1.25x so the
+    densest point queues launches, and sustained sub-min pressure
+    (spikes on top of guest demand) triggers priority eviction."""
+    return MemoryQosConfig(
+        overcommit_ratio=1.25,
+        spike_frac_lo=0.30, spike_frac_hi=0.50,
+        spike_hold_ns=12_000_000,
+        reclaim_batch_pages=256,
+        evict_after_rounds=1,
+    )
+
+
+def _overcommit_header(scale: float = 1.0) -> ExperimentResult:
+    return ExperimentResult(
+        exp_id="overcommit",
+        title=f"Container density vs. memory overcommit "
+              f"({_OVERCOMMIT_HOST_MIB} MiB host, "
+              f"{_OVERCOMMIT_GUEST_MIB} MiB guests, memalloc)",
+        columns=["availability", "reclaimed MiB", "evictions",
+                 "deferrals", "restarts", "gave up", "makespan ms"],
+        unit="mixed",
+    )
+
+
+def _overcommit_keys(scale: float = 1.0) -> Tuple[str, ...]:
+    return _OVERCOMMIT_ROWS
+
+
+def _overcommit_run(key: str, scale: float, seed: int,
+                    sanitize: bool) -> Tuple[RowData, int, int]:
+    """One density point; returns (row, sanitize checks, violations).
+
+    ``key`` is the overcommit ratio ("1.5x" = fleet guest memory is
+    1.5x host physical).  Row values are independent of ``sanitize``
+    (checks run outside virtual time).
+    """
+    ratio = float(key.rstrip("x"))
+    n = max(1, int(round(_OVERCOMMIT_HOST_MIB / _OVERCOMMIT_GUEST_MIB * ratio)))
+    config = MachineConfig(
+        host_mem_bytes=_OVERCOMMIT_HOST_MIB * MIB,
+        guest_mem_bytes=_OVERCOMMIT_GUEST_MIB * MIB,
+        sanitize=sanitize,
+    )
+    runtime = RunDRuntime("pvm (NST)", config=config,
+                          fault_plan=_overcommit_plan(seed),
+                          memory_qos=_overcommit_qos())
+    res = runtime.run_fleet(
+        n, memalloc,
+        total_bytes=scaled_iterations(24, scale) * MIB,
+        release=True,
+    )
+    checks = violations = 0
+    for container in runtime.containers:
+        suite = container.machine.sanitizers
+        if suite is not None:
+            checks += suite.report.total_checks
+            violations += len(suite.violations)
+    p = runtime.pressure
+    r = res.recovery
+    row: RowData = (key, [
+        r.availability,
+        p.reclaimed_bytes / MIB,
+        float(p.evictions),
+        float(p.admissions_deferred),
+        float(r.restarts),
+        float(r.gave_up),
+        res.makespan_ns / 1e6,
+    ])
+    return row, checks, violations
+
+
+def _overcommit_row(key: str, scale: float = 1.0,
+                    seed: int = OVERCOMMIT_DEFAULT_SEED) -> RowData:
+    row, _, _ = _overcommit_run(key, scale, seed, sanitize=False)
+    return row
+
+
+def overcommit(scale: float = 1.0, seed: Optional[int] = None,
+               sanitize: bool = False) -> ExperimentResult:
+    """Overcommit density sweep: one host, fleets whose total guest
+    memory is 0.5x/1.0x/1.5x host physical, under injected
+    memory-pressure spikes.
+
+    The shape to check is *graceful degradation*: past 1.0x the fleet
+    keeps running — the reclaim daemon balloons idle memory out of
+    guests (watermark-driven, proportional to working-set estimates),
+    admission control queues launches past the configured overcommit
+    ratio instead of oversubscribing, and sustained min-watermark
+    pressure evicts the lowest-priority guest, which the supervisor
+    restarts once pressure clears.  "gave up" must stay zero at every
+    density: no container is ever abandoned.
+
+    ``seed=None`` runs the canonical seeded plan through the cacheable
+    spec; an explicit seed recomputes every row directly (never
+    cached).  ``sanitize=True`` attaches the runtime sanitizers to
+    every fleet (also bypassing the cache) and records check/violation
+    totals in ``result.notes``; row values are unchanged.
+    """
+    if seed is None and not sanitize:
+        return EXPERIMENT_SPECS["overcommit"].run_serial(scale)
+    result = _overcommit_header(scale)
+    checks = violations = 0
+    for key in _OVERCOMMIT_ROWS:
+        row, c, v = _overcommit_run(
+            key, scale, seed if seed is not None else OVERCOMMIT_DEFAULT_SEED,
+            sanitize=sanitize,
+        )
+        result.add(*row)
+        checks += c
+        violations += v
+    if sanitize:
+        result.notes = (
+            f"sanitize: {checks} checks, {violations} violations"
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
 # Registries
 # ---------------------------------------------------------------------------
 
@@ -831,6 +973,8 @@ EXPERIMENT_SPECS: Dict[str, ExperimentSpec] = {
         ExperimentSpec("fig13", _fig13_header, _scenario_keys, _fig13_row,
                        finalize=_fig13_finalize),
         ExperimentSpec("chaos", _chaos_header, _chaos_keys, _chaos_row),
+        ExperimentSpec("overcommit", _overcommit_header, _overcommit_keys,
+                       _overcommit_row),
     )
 }
 
@@ -849,4 +993,5 @@ ALL_EXPERIMENTS = {
     "fig12": fig12,
     "fig13": fig13,
     "chaos": chaos,
+    "overcommit": overcommit,
 }

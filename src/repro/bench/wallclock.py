@@ -51,6 +51,7 @@ GATED_METRICS = (
     "miss_walks_per_sec",
     "faults_per_sec",
     "parallel_speedup",
+    "qos_off_fleet_pages_per_sec",
 )
 
 #: Tolerance for absolute wall-clock rates.  Shared hosts show ±30%
@@ -259,6 +260,48 @@ def bench_faults(npages: int) -> Dict[str, float]:
     return {"faults_per_sec": npages / best}
 
 
+def bench_qos_fleet(scale: float = 1.0) -> Dict[str, float]:
+    """Fleet throughput with the memory-QoS hooks off versus on.
+
+    ``memory_qos=None`` must cost nothing: every QoS code path in the
+    runtime and the machines is gated on the config, so a QoS-less
+    fleet run should be as fast as it was before the subsystem existed.
+    ``qos_off_fleet_pages_per_sec`` records that trajectory (gated
+    against the baseline like the other absolute rates); the same-run
+    ``qos_off_speedup_vs_on`` ratio additionally shows what the reclaim
+    daemon's scans cost when the subsystem *is* enabled.
+    """
+    from repro.containers.runtime import RunDRuntime
+    from repro.hypervisors.base import MachineConfig
+    from repro.memory.qos import MemoryQosConfig
+    from repro.workloads.memalloc import memalloc
+
+    n = 4
+    total = max(1, int(2 * scale)) * MIB
+
+    def fleet(qos) -> None:
+        runtime = RunDRuntime(
+            "pvm (NST)", config=MachineConfig(), memory_qos=qos
+        )
+        runtime.run_fleet(n, memalloc, total_bytes=total, release=True)
+
+    off_dt = on_dt = float("inf")
+    for _ in range(REPEATS):  # interleaved: both sample the same load
+        t0 = time.perf_counter()
+        fleet(None)
+        off_dt = min(off_dt, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fleet(MemoryQosConfig())
+        on_dt = min(on_dt, time.perf_counter() - t0)
+
+    pages = n * (total // PAGE_SIZE)
+    return {
+        "qos_off_fleet_pages_per_sec": pages / off_dt,
+        "qos_on_fleet_pages_per_sec": pages / on_dt,
+        "qos_off_speedup_vs_on": on_dt / off_dt,
+    }
+
+
 #: Experiments whose rows form the parallel-speedup work-unit set:
 #: 9 units of uneven cost, enough to keep 4 workers busy.
 PARALLEL_BENCH_EXPERIMENTS = ("fig4", "table4")
@@ -312,6 +355,7 @@ def run_benchmarks(scale: float = 1.0) -> Dict[str, float]:
     results.update(bench_warm_translations(iters=max(1, int(120 * scale))))
     results.update(bench_miss_walks(iters=max(1, int(12 * scale))))
     results.update(bench_faults(npages=max(64, int(3000 * scale))))
+    results.update(bench_qos_fleet(scale=scale))
     results.update(bench_parallel_speedup(scale=scale))
     return results
 
@@ -400,6 +444,8 @@ def summary_line(results: Dict[str, float]) -> str:
             f", fan-out {results['parallel_speedup']:.2f}x "
             f"@{int(results.get('parallel_jobs', 1))}j"
         )
+    if "qos_off_speedup_vs_on" in results:
+        line += f", qos-off {results['qos_off_speedup_vs_on']:.2f}x vs on"
     return line
 
 

@@ -25,6 +25,9 @@ class SecureContainer:
     state: str = "running"  # running | crashed | stopped
     #: Times this container's guest was restarted by the supervisor.
     restarts: int = 0
+    #: Memory-QoS eviction priority: under sustained min-watermark
+    #: pressure the reclaim daemon evicts the *lowest* priority first.
+    priority: int = 0
 
     def run(self, workload_factory, **params) -> Generator[None, None, None]:
         """Bind a workload to this container's vCPU and init process."""

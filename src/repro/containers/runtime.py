@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
 from repro import make_machine
 from repro.containers.container import SecureContainer
@@ -46,10 +46,14 @@ from repro.faults import (
     IoCompletionError,
 )
 from repro.hw.costs import CostModel, DEFAULT_COSTS
+from repro.hw.memory import PhysicalMemory
+from repro.hw.types import PAGE_SHIFT
 from repro.hypervisors.base import MachineConfig
+from repro.memory.qos import MemoryQosConfig, ReclaimDaemon
+from repro.sim.clock import Clock
 from repro.sim.engine import Engine, SimTask
 from repro.sim.locks import SimLock
-from repro.sim.stats import RecoveryStats
+from repro.sim.stats import PressureStats, RecoveryStats
 from repro.workloads.ops import WorkloadResult, gen_stepper
 
 
@@ -80,6 +84,14 @@ RundError = RuntimeError_
 
 class ContainerBootError(RuntimeError_):
     """A container failed to boot past the supervisor's retry budget."""
+
+
+class AdmissionError(RuntimeError_):
+    """Admission control rejected a launch (overcommit limit reached).
+
+    Raised only with memory QoS enabled.  ``run_fleet`` catches it and
+    queues the member instead: the launch retries in virtual time until
+    a running guest retires and releases its admission."""
 
 
 @dataclass(frozen=True)
@@ -114,12 +126,37 @@ class RunDRuntime:
         costs: CostModel = DEFAULT_COSTS,
         fault_plan: Optional[FaultPlan] = None,
         policy: Optional[SupervisorPolicy] = None,
+        memory_qos: Optional[MemoryQosConfig] = None,
     ) -> None:
         self.scenario = scenario
         self.config = config or MachineConfig()
         self.costs = costs
         self.fault_plan = fault_plan
         self.policy = policy or SupervisorPolicy()
+        #: Memory-QoS config; None disables every QoS code path (the
+        #: runtime then behaves bit-identically to a QoS-less build).
+        self.memory_qos = memory_qos
+        #: Shared host memory pool all guests allocate backing from
+        #: (QoS fleets overcommit one host); None = per-machine pools.
+        self.host_phys: Optional[PhysicalMemory] = (
+            PhysicalMemory("host", self.config.host_mem_bytes)
+            if memory_qos is not None else None
+        )
+        self._admission_limit = (
+            int((self.config.host_mem_bytes >> PAGE_SHIFT)
+                * memory_qos.overcommit_ratio)
+            if memory_qos is not None else 0
+        )
+        self._admitted_frames = 0
+        #: container_id -> admitted frame reservation (released on retire).
+        self._admission: Dict[str, int] = {}
+        #: Container ids the reclaim daemon marked for eviction; the
+        #: supervisor crashes them (reason "evicted") at their next step.
+        self._evictions_pending: Set[str] = set()
+        #: Memory-pressure scoreboard; reset by each QoS run_fleet.
+        self.pressure: Optional[PressureStats] = (
+            PressureStats() if memory_qos is not None else None
+        )
         #: The host's shared root-mode service.
         self.shared_l0 = SimLock("host-l0-service")
         if fault_plan is not None:
@@ -135,18 +172,24 @@ class RunDRuntime:
 
     # -- lifecycle ---------------------------------------------------------
 
-    def launch(self, scenario: Optional[str] = None) -> SecureContainer:
+    def launch(self, scenario: Optional[str] = None, start_ns: int = 0,
+               priority: int = 0) -> SecureContainer:
         """Boot one secure container; may raise :class:`RuntimeError_`.
 
         ``scenario`` overrides the runtime's default per container —
         PVM guests, hardware-nested guests, and ordinary VMs co-exist
-        on one host (§3), sharing only the L0 service.
+        on one host (§3), sharing only the L0 service.  ``start_ns``
+        sets the new vCPU's virtual boot start (queued admissions boot
+        at their admission time, not at zero); ``priority`` orders
+        memory-QoS evictions (lowest first).
 
         With a fault plan, transient boot failures (site
         ``container.boot``) are retried up to the policy's
         ``boot_retries``, each failed attempt charging one boot plus a
         backoff to the container's eventual clock; past the budget a
-        :class:`ContainerBootError` is raised.
+        :class:`ContainerBootError` is raised.  With memory QoS, a
+        launch past the overcommit limit raises
+        :class:`AdmissionError` instead of oversubscribing the host.
         """
         scenario = scenario or self.scenario
         if (
@@ -156,6 +199,14 @@ class RunDRuntime:
             raise RuntimeError_(
                 f"RunD: failed to connect to container runtime "
                 f"(kvm-ept NST capacity {KVM_NST_CAPACITY} exhausted)"
+            )
+        qos = self.memory_qos
+        need = self.config.guest_mem_bytes >> PAGE_SHIFT
+        if qos is not None and self._admitted_frames + need > self._admission_limit:
+            raise AdmissionError(
+                f"RunD: admission denied — {need} frames would exceed the "
+                f"overcommit limit ({self._admitted_frames}/"
+                f"{self._admission_limit} admitted)"
             )
         retry_ns = 0
         if self.fault_plan is not None:
@@ -170,10 +221,12 @@ class RunDRuntime:
                 if self.recovery is not None:
                     self.recovery.boot_retries += 1
                 retry_ns += BOOT_NS + self.policy.backoff_base_ns
-        machine = make_machine(scenario, config=self.config, costs=self.costs)
+        machine = make_machine(scenario, config=self.config, costs=self.costs,
+                               host_phys=self.host_phys)
         machine.l0_lock = self.shared_l0
         machine.fault_plan = self.fault_plan
         ctx = machine.new_context()
+        ctx.clock.advance_to(start_ns)
         ctx.clock.advance(retry_ns + BOOT_NS)
         if pins_host_state(machine):
             # Hardware-assisted nesting: L0 must build this guest's
@@ -186,8 +239,14 @@ class RunDRuntime:
             ctx=ctx,
             init=init,
             boot_ns=BOOT_NS,
+            priority=priority,
         )
         self.containers.append(container)
+        if qos is not None:
+            self._admitted_frames += need
+            self._admission[container.container_id] = need
+            if self.pressure is not None:
+                self.pressure.admissions_admitted += 1
         return container
 
     def launch_fleet(self, n: int) -> List[SecureContainer]:
@@ -244,17 +303,30 @@ class RunDRuntime:
         from repro.sim.cpupool import dilated_stepper
 
         supervised = self.fault_plan is not None
+        qos = self.memory_qos
         if supervised:
             self.recovery = RecoveryStats()
+        if qos is not None:
+            self.pressure = PressureStats()
+            self._evictions_pending.clear()
         fleet: List[SecureContainer] = []
+        #: (member index, priority) of admission-queued launches.
+        pending: List[tuple] = []
         #: container_id -> virtual time the supervisor gave up on it.
         dead_at: Dict[str, int] = {}
         try:
-            if supervised:
-                for _ in range(n):
+            if supervised or qos is not None:
+                for i in range(n):
+                    # Earlier members get higher eviction priority, so
+                    # under pressure the latest arrivals yield first.
                     try:
-                        fleet.append(self.launch())
+                        fleet.append(self.launch(priority=n - i))
+                    except AdmissionError:
+                        pending.append((i, n - i))
+                        self.pressure.admissions_deferred += 1
                     except RuntimeError_:
+                        if not supervised:
+                            raise
                         # Permanent boot failure (retry budget or the
                         # NST capacity cliff): the member never comes
                         # up; its whole window counts as downtime.
@@ -266,6 +338,7 @@ class RunDRuntime:
                 suite = container.machine.sanitizers
                 if suite is not None:
                     engine.lockdeps.append(suite.lockdep)
+            member_tasks: List[SimTask] = []
             for container in fleet:
                 task = SimTask(
                     name=container.container_id,
@@ -280,9 +353,29 @@ class RunDRuntime:
                 else:
                     gen = container.run(workload_factory, **params)
                     task.stepper = gen_stepper(gen)
+                if qos is not None:
+                    task.stepper = self._with_retirement(task.stepper, container)
                 if cpu_pool is not None:
                     task.stepper = dilated_stepper(task, cpu_pool)
                 engine.add(task)
+                member_tasks.append(task)
+            for index, priority in pending:
+                task = SimTask(
+                    name=f"pending-{index}", clock=Clock(0),
+                    stepper=lambda: False,
+                )
+                task.stepper = self._pending_stepper(
+                    engine, task, priority, workload_factory, params,
+                    dead_at, supervised, cpu_pool, fleet,
+                )
+                engine.add(task)
+                member_tasks.append(task)
+            if qos is not None:
+                daemon = ReclaimDaemon(
+                    self, qos, self.pressure, watched=list(member_tasks),
+                    plan=self.fault_plan,
+                )
+                daemon.make_task(engine)
             makespan = engine.run()
             counters: Dict[str, Dict[str, int]] = {}
             for container in fleet:
@@ -299,7 +392,7 @@ class RunDRuntime:
                     recovery.boot_failures * makespan
                 )
                 recovery.finalize(span_ns=makespan, members=n)
-            base = BOOT_NS if fleet else 0
+            base = BOOT_NS if (fleet or pending) else 0
             return WorkloadResult(
                 scenario=self.scenario,
                 n=n,
@@ -307,13 +400,113 @@ class RunDRuntime:
                 completions_ns=[
                     (t.finished_at if t.finished_at is not None else t.clock.now)
                     - base
-                    for t in engine.tasks
+                    for t in member_tasks
                 ],
                 counters=counters,
                 recovery=recovery,
             )
         finally:
             self.stop_all()
+
+    # -- memory QoS --------------------------------------------------------
+
+    def _retire(self, container: SecureContainer) -> None:
+        """Release a finished member's admission and host memory.
+
+        Idempotent: only the first call per container does anything.
+        Called when the member's task finishes (workload done *or* the
+        supervisor gave up on it) — either way its guest no longer
+        needs backing, so queued launches can now be admitted.
+        """
+        need = self._admission.pop(container.container_id, None)
+        if need is None:
+            return
+        self._admitted_frames -= need
+        machine = container.machine
+        try:
+            machine.teardown_guest_memory()
+            for mctx in machine.contexts:
+                mctx.mmu.drop_vpid(machine.vpid)
+        except Exception:
+            pass
+
+    def _with_retirement(
+        self, stepper: Callable[[], bool], container: SecureContainer
+    ) -> Callable[[], bool]:
+        """Retire the member the moment its stepper reports done."""
+
+        def step() -> bool:
+            more = stepper()
+            if not more:
+                self._retire(container)
+            return more
+
+        return step
+
+    def _pending_stepper(
+        self,
+        engine: Engine,
+        task: SimTask,
+        priority: int,
+        workload_factory: Callable,
+        params: Dict,
+        dead_at: Dict[str, int],
+        supervised: bool,
+        cpu_pool,
+        fleet: List[SecureContainer],
+    ) -> Callable[[], bool]:
+        """An admission-queued member: retry ``launch`` in virtual time.
+
+        The task starts on its own zero clock; each wake retries the
+        launch at the task's current virtual time.  On admission the
+        task *becomes* the member — clock, name, and stepper are
+        reassigned (the engine re-reads them at the next pop) and the
+        container joins ``fleet`` so counters and stop-all see it.  A
+        member that can never fit (nothing admitted, so nothing can
+        ever retire) gives up as a boot failure instead of parking
+        forever.
+        """
+        from repro.sim.cpupool import dilated_stepper
+
+        qos = self.memory_qos
+
+        def step() -> bool:
+            try:
+                container = self.launch(
+                    start_ns=task.clock.now, priority=priority
+                )
+            except AdmissionError:
+                if self._admitted_frames == 0:
+                    if self.recovery is not None:
+                        self.recovery.boot_failures += 1
+                    return False
+                engine.park(task, task.clock.now + qos.scan_interval_ns)
+                return True
+            except RuntimeError_:
+                if self.recovery is not None:
+                    self.recovery.boot_failures += 1
+                return False
+            fleet.append(container)
+            suite = container.machine.sanitizers
+            if suite is not None:
+                engine.lockdeps.append(suite.lockdep)
+            task.name = container.container_id
+            task.clock = container.ctx.clock
+            if supervised:
+                inner = self._supervised_stepper(
+                    engine, task, container, workload_factory, params,
+                    dead_at,
+                )
+            else:
+                inner = gen_stepper(container.run(workload_factory, **params))
+            task.stepper = self._with_retirement(inner, container)
+            if cpu_pool is not None:
+                # Register with the pool only now: a queued member holds
+                # no hardware thread while it waits for admission.
+                task.stepper = dilated_stepper(task, cpu_pool)
+            return True
+
+        return step
 
     # -- supervision -------------------------------------------------------
 
@@ -348,9 +541,10 @@ class RunDRuntime:
             "attempt_start": clock.now,
             "crashed_at": None,
             "failures": 0,
+            "evicted": False,
         }
 
-        def crash(reason: str) -> bool:
+        def crash(reason: str, budget_exempt: bool = False) -> bool:
             recovery.record_crash(reason)
             container.mark_crashed()
             # Reclaim the dead guest's frames so restarts don't leak
@@ -360,13 +554,22 @@ class RunDRuntime:
             # a relaunched guest that reuses the PCID window could hit
             # the dead lifetime's cached translations.
             try:
+                if self.memory_qos is not None:
+                    # QoS host: hand every backing frame straight back
+                    # to the shared pool — eviction's whole point.
+                    machine.teardown_guest_memory()
                 machine.kernel.exit_process(container.init)
                 machine.on_process_destroyed(container.ctx, container.init)
                 for mctx in machine.contexts:
                     mctx.mmu.drop_vpid(machine.vpid)
             except Exception:
                 pass
-            state["failures"] += 1
+            if not budget_exempt:
+                # Evictions are a policy decision, not a fault: they
+                # never consume the member's restart budget, so an
+                # evicted guest is always restartable once pressure
+                # clears (zero abandoned containers).
+                state["failures"] += 1
             if state["failures"] > policy.max_restarts:
                 recovery.gave_up += 1
                 events.recovery("gave-up")
@@ -374,14 +577,36 @@ class RunDRuntime:
                 return False
             state["crashed_at"] = clock.now
             backoff = min(
-                policy.backoff_base_ns * (1 << (state["failures"] - 1)),
+                policy.backoff_base_ns * (1 << max(0, state["failures"] - 1)),
                 policy.backoff_cap_ns,
             )
             engine.park(task, clock.now + backoff)
             return True
 
         def step() -> bool:
+            if (
+                state["crashed_at"] is None
+                and container.container_id in self._evictions_pending
+            ):
+                # The reclaim daemon marked this guest: crash it with
+                # the eviction reason (budget-exempt — recovery will
+                # restart it once host pressure clears).
+                self._evictions_pending.discard(container.container_id)
+                state["evicted"] = True
+                return crash("evicted", budget_exempt=True)
             if state["crashed_at"] is not None:
+                if state["evicted"] and self.host_phys is not None:
+                    qcfg = self.memory_qos
+                    low = int(
+                        self.host_phys.total_frames * qcfg.low_watermark
+                    )
+                    if self.host_phys.free_frames < low:
+                        # Restarting into the same pressure would just
+                        # get this guest evicted again; hold it down
+                        # until the host clears the low watermark.
+                        engine.park(task, clock.now + qcfg.scan_interval_ns)
+                        return True
+                state["evicted"] = False
                 # Woke from restart backoff: boot the replacement guest.
                 clock.advance(BOOT_NS)
                 if pins_host_state(machine):

@@ -121,6 +121,41 @@ class DirectPagingMachine(PvmMachine):
         self.validated_updates += writes
         sw.vm_enter(ctx.clock, ctx.cpu_id, resume)
 
+    # -- memory chain ---------------------------------------------------------
+
+    def discard_gfn_backing(self, gfn: int) -> bool:
+        """Balloon release under direct paging: there is no shadow chain
+        and no separate L2->L1 mapping — the guest's frame *is* the L1
+        frame — so only the host backing and its EPT01 entry are
+        dropped.  The guest frame itself stays held by the balloon."""
+        if self.huge_block_base(gfn) is not None:
+            return False
+        if not self.nested:
+            return super().discard_gfn_backing(gfn)
+        ent = self.ept01.lookup(gfn)
+        if ent is not None:
+            if ent.huge:
+                return False
+            self.ept01.unmap(gfn)
+        hfn = self._backing.pop(gfn, None)
+        if hfn is not None:
+            self.host_phys.free_frame(hfn)
+        return hfn is not None
+
+    def backing_frame(self, guest_frame: int) -> int:
+        # Direct paging keys _backing by the guest's own frame numbers,
+        # so the refault chokepoint is right here (the base hook skips
+        # nested machines to avoid gfn1/gfn2 namespace collisions).
+        frame = super().backing_frame(guest_frame)
+        if self._discarded_gfns:
+            self.note_gfn_rebacked(guest_frame)
+        return frame
+
+    def accessed_bit_tables(self, proc: Process):
+        """The hardware walks the guest's own tables — A-bits land in
+        the GPT, not in (absent) shadow tables."""
+        return [proc.gpt]
+
     # -- shadow machinery is absent -----------------------------------------------
 
     def invalidate_pages(self, ctx, proc: Process, vpns) -> None:

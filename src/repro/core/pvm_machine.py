@@ -15,7 +15,7 @@ when the prefault optimization is disabled.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from repro.core.hypervisor import PvmHypervisor
 from repro.core.pcid import PcidMapper
@@ -83,6 +83,8 @@ class PvmMachine(Machine):
         if gfn1 is None:
             gfn1 = self.l1_phys.alloc_frame(tag="l2-ram")
             self._l1_backing[gfn2] = gfn1
+            if self._discarded_gfns:
+                self.note_gfn_rebacked(gfn2)
         return gfn1
 
     def _gfn1_block_for(self, base2: int) -> int:
@@ -101,10 +103,17 @@ class PvmMachine(Machine):
         L1/host backing of the frame."""
         if self.huge_block_base(gfn2) is not None:
             return False
-        for pid, half, vpn in self.shadow.entries_for_gfn(gfn2):
+        for pid, half, vpn in sorted(self.shadow.entries_for_gfn(gfn2)):
             proc = self.kernel.processes.get(pid)
             if proc is not None:
                 self.shadow.unmap(proc, vpn)
+                # Scrub cached translations of the zapped entry: a TLB
+                # hit after the host frame is reused would read someone
+                # else's memory.  Raw flush (no clock charge) — reclaim
+                # work is priced by the balloon device, not here.
+                asid = self.asid_for(proc, kernel_half=(half == "kernel"))
+                for cpu in self.contexts:
+                    cpu.tlb.flush_page(asid, vpn)
         if not self.nested:
             return super().discard_gfn_backing(gfn2)
         gfn1 = self._l1_backing.pop(gfn2, None)
@@ -117,6 +126,21 @@ class PvmMachine(Machine):
         if hfn is not None:
             self.host_phys.free_frame(hfn)
         return hfn is not None
+
+    def accessed_bit_tables(self, proc: Process) -> List[PageTable]:
+        """The walker sets A-bits in SPT12, not the guest's GPT2."""
+        return self.shadow.tables_for(proc)
+
+    def teardown_guest_memory(self) -> None:
+        """Eviction: drop all shadow tables, then (nested) the L1 chain."""
+        self.shadow.drop_all()
+        if self.nested:
+            self.ept01.destroy()
+            for gfn1 in self._l1_backing.values():
+                self.l1_phys.free_frame(gfn1)
+            self._l1_backing.clear()
+            self._l1_huge_bases.clear()
+        super().teardown_guest_memory()
 
     def asid_for(self, proc: Process, kernel_half: bool = False) -> Asid:
         """TLB tag for a process under this stack's PCID policy."""

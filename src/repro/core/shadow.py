@@ -86,6 +86,20 @@ class ShadowManager:
         """Which shadow tables a user-page sync must update."""
         return ["user", "kernel"] if self.kpti else ["user"]
 
+    def tables_for(self, proc: Process) -> List[PageTable]:
+        """The process's *existing* shadow tables (no creation).
+
+        Working-set estimation harvests accessed bits from whatever
+        tables the hardware actually walked; materializing empty ones
+        here would charge table-page allocations to a read-only scan.
+        """
+        tables = []
+        for half in ("user", "kernel"):
+            table = self._spts.get((proc.pid, half))
+            if table is not None:
+                tables.append(table)
+        return tables
+
     # -- write protection ---------------------------------------------------------
 
     def write_protect_gpt(self, proc: Process) -> int:
@@ -233,6 +247,18 @@ class ShadowManager:
         return touched
 
     # -- lifecycle --------------------------------------------------------------------------
+
+    def drop_all(self) -> int:
+        """Release every shadow table at once (guest eviction)."""
+        dropped = 0
+        for table in self._spts.values():
+            dropped += sum(1 for _ in table.iter_mappings())
+            table.release()
+        self._spts.clear()
+        self._rmap.clear()
+        self._inverse.clear()
+        self.write_protected_frames.clear()
+        return dropped
 
     def drop(self, proc: Process) -> int:
         """Release all shadow state of a process (exec/exit)."""

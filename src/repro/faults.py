@@ -42,6 +42,7 @@ Sites
 :data:`SITE_VIRTIO_COMPLETION` a virtio request completes with error status
 :data:`SITE_MIGRATION_COPY`   transient migration-link page-copy failure
 :data:`SITE_GUEST_PHYS`       guest-physical allocation exhaustion (guest OOM)
+:data:`SITE_MEMORY_PRESSURE`  host memory-pressure spike (burst allocation)
 ========================  ====================================================
 """
 
@@ -58,6 +59,7 @@ SITE_L0_STALL = "l0.stall"
 SITE_VIRTIO_COMPLETION = "virtio.completion"
 SITE_MIGRATION_COPY = "migration.page-copy"
 SITE_GUEST_PHYS = "guest-phys.exhausted"
+SITE_MEMORY_PRESSURE = "memory.pressure-spike"
 
 #: Every site a :class:`FaultPlan` accepts injectors for.
 KNOWN_SITES = frozenset({
@@ -67,6 +69,7 @@ KNOWN_SITES = frozenset({
     SITE_VIRTIO_COMPLETION,
     SITE_MIGRATION_COPY,
     SITE_GUEST_PHYS,
+    SITE_MEMORY_PRESSURE,
 })
 
 

@@ -134,6 +134,11 @@ class CostModel:
     tlb_vpid_flush_extra: int = 240
     #: Cost (to the initiator) of one remote TLB-shootdown IPI.
     tlb_shootdown_ipi: int = 1200
+    #: Per-leaf-entry cost of a working-set-estimation A-bit scan
+    #: (read + conditional clear of the accessed bit, PML-style).  The
+    #: induced refaults are charged separately by the flush that the
+    #: scan performs through the machine's invalidation hooks.
+    wse_scan_per_entry: int = 10
 
     # -- PVM shadow-paging fast paths -------------------------------------
     #: PVM prefault: populating the SPT leaf for the just-fixed GVA while

@@ -103,6 +103,12 @@ class EventLog:
         self.faults_injected = Counter("faults_injected")
         #: Supervisor recovery actions ("restart", "gave-up", ...).
         self.recoveries = Counter("recoveries")
+        #: Backing re-establishment after a discarded (ballooned /
+        #: reclaimed) guest frame is touched again, by reason.
+        self.refaults = Counter("refaults")
+        #: Memory-QoS events by kind ("wse-scan", "reclaim", "deflate",
+        #: "eviction", "admission-deferred", "pressure-spike", ...).
+        self.memory_pressure = Counter("memory_pressure")
         #: Sanitizer violations by kind (always zero unless a run with
         #: ``MachineConfig(sanitize=True)`` / ``PVM_SANITIZE`` tripped an
         #: invariant — and those runs raise, so a non-zero count in a
@@ -175,6 +181,14 @@ class EventLog:
         """Record one supervisor recovery action by kind."""
         self.recoveries.add(1, key=kind)
 
+    def refault(self, reason: str) -> None:
+        """Record one re-backing of a previously discarded guest frame."""
+        self.refaults.add(1, key=reason)
+
+    def pressure_event(self, kind: str, n: int = 1) -> None:
+        """Record one (or ``n``) memory-QoS events by kind."""
+        self.memory_pressure.add(n, key=kind)
+
     def sanitizer_violation(self, kind: str) -> None:
         """Record one runtime-sanitizer violation by kind."""
         self.sanitizer_violations.add(1, key=kind)
@@ -210,6 +224,8 @@ class EventLog:
             self.emulations,
             self.faults_injected,
             self.recoveries,
+            self.refaults,
+            self.memory_pressure,
             self.sanitizer_violations,
         )
 

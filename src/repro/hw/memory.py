@@ -99,8 +99,19 @@ class FrameAllocator:
             f"{self.free_frames} free (fragmented into {len(self._free)} runs)"
         )
 
-    def alloc_frame(self, tag: str = "anon") -> int:
-        """Allocate a single frame and return its frame number."""
+    def alloc_frame(self, tag: str = "anon", prefer_recycled: bool = False) -> int:
+        """Allocate a single frame and return its frame number.
+
+        ``prefer_recycled`` inverts the "stream" policy's preference for
+        never-allocated frames: recycled (previously freed, still
+        host-backed) frames are handed out first.  The balloon driver
+        uses this so reclaim releases frames the host actually backs
+        instead of inflating into fresh, never-faulted guest memory.
+        """
+        if prefer_recycled and self._recycled:
+            frame = self._recycled.popleft()
+            self._owner[frame] = tag
+            return frame
         if self._free:
             return self.alloc(1, tag).start
         if self._recycled:
@@ -173,6 +184,26 @@ class FrameAllocator:
             usage[t] = usage.get(t, 0) + 1
         return usage
 
+    def fragmentation_stats(self) -> Dict[str, int | float]:
+        """External-fragmentation gauge over the coalesced free list.
+
+        ``fragmentation`` is ``1 - largest_run / contiguous_free`` —
+        0.0 when all contiguous free memory is one run, approaching 1.0
+        as it shatters.  Recycled (FIFO-queued) frames are reported
+        separately: they are reusable one at a time but never satisfy a
+        contiguous allocation, so they do not enter the ratio.
+        """
+        contiguous = sum(r.count for r in self._free)
+        largest = max((r.count for r in self._free), default=0)
+        return {
+            "free_frames": self.free_frames,
+            "contiguous_free": contiguous,
+            "free_runs": len(self._free),
+            "largest_run": largest,
+            "recycled": len(self._recycled),
+            "fragmentation": 1.0 - largest / contiguous if contiguous else 0.0,
+        }
+
     def _insert_free(self, frames: FrameRange) -> None:
         # Keep the free list sorted by start and coalesce adjacent runs.
         lo, hi = 0, len(self._free)
@@ -233,9 +264,9 @@ class PhysicalMemory:
         """Frames currently available."""
         return self.allocator.free_frames
 
-    def alloc_frame(self, tag: str = "anon") -> int:
+    def alloc_frame(self, tag: str = "anon", prefer_recycled: bool = False) -> int:
         """Allocate one frame; returns its frame number."""
-        return self.allocator.alloc_frame(tag)
+        return self.allocator.alloc_frame(tag, prefer_recycled=prefer_recycled)
 
     def alloc(self, count: int, tag: str = "anon") -> FrameRange:
         """Allocate contiguous frames."""

@@ -462,6 +462,29 @@ class PageTable:
             pte.dirty = True
         return WalkResult(frame=pte.frame, pte=pte, nodes=tuple(nodes))
 
+    # -- accessed-bit harvesting ----------------------------------------
+
+    def harvest_accessed(self, clear: bool = True) -> Tuple[int, int]:
+        """Scan every leaf entry's accessed bit; optionally clear it.
+
+        Returns ``(accessed_pages, scanned_entries)`` where huge entries
+        contribute 512 accessed pages but one scanned entry (the scan
+        reads one PTE either way).  Clearing writes the A-bit in place
+        the same way the hardware walker sets it — directly, without
+        passing through the write hook — since A/D updates are not
+        guest-visible PTE stores and must not trip write protection.
+        """
+        accessed_pages = 0
+        scanned = 0
+        for _vpn, pte in self.iter_mappings():
+            scanned += 1
+            if pte.accessed:
+                accessed_pages += HUGE_PAGE_PAGES if pte.huge else 1
+                if clear:
+                    pte.accessed = False
+                    pte.dirty = False
+        return accessed_pages, scanned
+
     # -- iteration / teardown -------------------------------------------
 
     def iter_mappings(self) -> Iterator[Tuple[int, Pte]]:

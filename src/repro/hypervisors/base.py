@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.guest.addrspace import SegfaultError, Vma  # noqa: F401 (re-exported)
 from repro.guest.kernel import ForkWork, GptFix, GuestKernel
@@ -112,11 +112,16 @@ class Machine(abc.ABC):
         config: Optional[MachineConfig] = None,
         costs: CostModel = DEFAULT_COSTS,
         events: Optional[EventLog] = None,
+        host_phys: Optional[PhysicalMemory] = None,
     ) -> None:
         self.config = config or MachineConfig()
         self.costs = costs
         self.events = events or EventLog()
-        self.host_phys = PhysicalMemory("host", self.config.host_mem_bytes)
+        # A shared pool (memory-QoS fleets overcommitting one host)
+        # may be passed in; by default each machine owns its host RAM.
+        self.host_phys = host_phys or PhysicalMemory(
+            "host", self.config.host_mem_bytes
+        )
         # Guest RAM streams: the guest kernel prefers fresh frames, so
         # the paper's alloc/touch benchmarks keep faulting on new
         # guest-physical pages (see FrameAllocator policy docs).
@@ -143,6 +148,9 @@ class Machine(abc.ABC):
         self.fault_plan = None
         #: guest frame -> host frame backing (the "memslot" mapping).
         self._backing: Dict[int, int] = {}
+        #: Guest frames whose host backing was discarded (ballooned /
+        #: reclaimed) and not yet re-established; next touch refaults.
+        self._discarded_gfns: Set[int] = set()
         #: Base gfns of 2 MiB guest allocations (for huge EPT/shadow fills).
         self._huge_gfn_bases: set = set()
         #: Runtime-sanitizer suite (:class:`repro.sanitize.SanitizerSuite`)
@@ -196,7 +204,18 @@ class Machine(abc.ABC):
         if frame is None:
             frame = self.host_phys.alloc_frame(tag="guest-ram")
             self._backing[guest_frame] = frame
+            # Nested machines key _backing by L1 frames; their gfn2
+            # chokepoints report refaults instead (gfn1/gfn2 numbers
+            # would collide here).
+            if self._discarded_gfns and not self.nested:
+                self.note_gfn_rebacked(guest_frame)
         return frame
+
+    def note_gfn_rebacked(self, gfn: int) -> None:
+        """Record that a previously discarded guest frame refaulted in."""
+        if gfn in self._discarded_gfns:
+            self._discarded_gfns.discard(gfn)
+            self.events.refault("balloon")
 
     def backing_block(self, guest_base: int) -> int:
         """Aligned 512-frame host block backing a guest 2 MiB run."""
@@ -414,6 +433,62 @@ class Machine(abc.ABC):
             return False
         self.host_phys.free_frame(hfn)
         return True
+
+    # -- memory QoS (working-set estimation + reclaim support) -----------
+
+    def accessed_bit_tables(self, proc: Process) -> List:
+        """Page tables whose leaf A-bits the walker sets for ``proc``.
+
+        The hardware walker marks accessed/dirty in whatever table it
+        actually walks: the guest table here (EPT designs), the shadow
+        tables on shadow-paging machines (which override this).  Only
+        *existing* tables are returned — a scan must never materialize
+        shadow state.
+        """
+        return [proc.gpt]
+
+    def harvest_working_set(self, ctx: CpuCtx) -> Tuple[int, int]:
+        """PML-style A-bit scan-and-clear over every live process.
+
+        Returns ``(accessed_pages, scanned_entries)``.  Each scanned
+        leaf entry is charged ``costs.wse_scan_per_entry``, and every
+        scanned process is invalidated through the machine's own hook —
+        clearing A-bits without flushing would let cached translations
+        keep the bits stale, so the scan pays real flushes and the
+        guest pays real refaults, exactly like hardware PML.
+        """
+        accessed = scanned = 0
+        for pid in sorted(self.kernel.processes):
+            proc = self.kernel.processes[pid]
+            proc_scanned = 0
+            for table in self.accessed_bit_tables(proc):
+                a, s = table.harvest_accessed(clear=True)
+                accessed += a
+                proc_scanned += s
+            scanned += proc_scanned
+            if proc_scanned:
+                self.invalidate_asid(ctx, proc)
+        if scanned:
+            ctx.clock.advance(scanned * self.costs.wse_scan_per_entry)
+        self.events.pressure_event("wse-scan")
+        return accessed, scanned
+
+    def resident_guest_pages(self) -> int:
+        """Guest pages currently backed by host frames."""
+        return len(self._backing)
+
+    def teardown_guest_memory(self) -> None:
+        """Release every host frame backing this guest (eviction path).
+
+        Subclasses extend this to drop extended/shadow state that
+        references the freed frames; the base leaves translation caches
+        to the supervisor's regular crash teardown.
+        """
+        for hfn in self._backing.values():
+            self.host_phys.free_frame(hfn)
+        self._backing.clear()
+        self._huge_gfn_bases.clear()
+        self._discarded_gfns.clear()
 
     def virtio_doorbell(self, ctx: CpuCtx) -> None:
         """Guest kicks a virtqueue: one exit to the vhost backend.

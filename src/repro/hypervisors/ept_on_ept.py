@@ -47,6 +47,8 @@ class EptOnEptMachine(NestedVmxMixin, Machine):
         if gfn1 is None:
             gfn1 = self.l1_phys.alloc_frame(tag="l2-ram")
             self._l1_backing[gfn2] = gfn1
+            if self._discarded_gfns:
+                self.note_gfn_rebacked(gfn2)
         return gfn1
 
     def gfn1_block_for(self, base2: int) -> int:
@@ -150,6 +152,15 @@ class EptOnEptMachine(NestedVmxMixin, Machine):
         if hfn is not None:
             self.host_phys.free_frame(hfn)
         return hfn is not None
+
+    def teardown_guest_memory(self) -> None:
+        """Eviction: drop both EPT dimensions and the L1 memslots."""
+        self.ept12.destroy()
+        self.ept02.destroy()
+        for gfn1 in self._l1_backing.values():
+            self.l1_phys.free_frame(gfn1)
+        self._l1_backing.clear()
+        super().teardown_guest_memory()
 
     def priced_gpt_writes(self, ctx: CpuCtx, proc: Process, writes: int,
                           kernel_pages: bool = False,

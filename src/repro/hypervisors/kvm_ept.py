@@ -83,6 +83,11 @@ class KvmEptMachine(Machine):
             self.ept01.unmap(gfn)
         return super().discard_gfn_backing(gfn)
 
+    def teardown_guest_memory(self) -> None:
+        """Eviction: drop the EPT tree before freeing the backing."""
+        self.ept01.destroy()
+        super().teardown_guest_memory()
+
     # -- transitions -----------------------------------------------------------
 
     def _syscall_round_trip(self, ctx: CpuCtx, proc: Process) -> None:

@@ -14,7 +14,7 @@ paper measures:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.guest.process import Process
 from repro.hw.events import FaultPhase, SwitchKind
@@ -37,6 +37,10 @@ class KvmSptMachine(KvmEptMachine):
         super().__init__(*args, **kwargs)
         #: Per-process shadow tables: GVA -> HPA.
         self._spts: Dict[int, PageTable] = {}
+        #: Reverse map: host frame -> {(pid, vpn)} shadow entries naming
+        #: it, so discarding a frame's backing can zap exactly the SPTEs
+        #: that translate to it (KVM's rmap chains).
+        self._spt_rmap: Dict[int, Set[Tuple[int, int]]] = {}
         self.mmu_lock = SimLock("mmu_lock", self.events)
 
     # -- shadow table management ------------------------------------------
@@ -53,8 +57,18 @@ class KvmSptMachine(KvmEptMachine):
         """Drop every shadow entry (KVM's bulk zap on fork/exec)."""
         spt = self._spts.pop(proc.pid, None)
         if spt is not None:
+            self._forget_spt_rmap(spt, proc.pid)
             spt.release()
         self.invalidate_asid(ctx, proc)
+
+    def _forget_spt_rmap(self, spt: PageTable, pid: int) -> None:
+        """Drop a whole shadow table's reverse-map entries."""
+        for vpn, pte in spt.iter_mappings():
+            entries = self._spt_rmap.get(pte.frame)
+            if entries is not None:
+                entries.discard((pid, vpn))
+                if not entries:
+                    del self._spt_rmap[pte.frame]
 
     # -- translation ----------------------------------------------------------
 
@@ -115,6 +129,7 @@ class KvmSptMachine(KvmEptMachine):
                 user=gpt_pte.user,
                 executable=gpt_pte.executable,
             ))
+            self._spt_rmap.setdefault(hfn, set()).add((proc.pid, vpn))
             levels = len(result.written_frames)
         else:
             spt.protect(vpn, writable=gpt_pte.writable, user=gpt_pte.user)
@@ -150,7 +165,12 @@ class KvmSptMachine(KvmEptMachine):
         asid = self.asid_for(proc)
         for vpn in vpns:
             if spt.lookup(vpn) is not None:
-                spt.unmap(vpn)
+                pte = spt.unmap(vpn)
+                entries = self._spt_rmap.get(pte.frame)
+                if entries is not None:
+                    entries.discard((proc.pid, vpn))
+                    if not entries:
+                        del self._spt_rmap[pte.frame]
                 self.mmu_lock.run_locked(
                     ctx.clock, hold_ns=self.costs.mmu_lock_hold // 2,
                     overhead_ns=self.costs.mmu_lock_op,
@@ -175,7 +195,47 @@ class KvmSptMachine(KvmEptMachine):
         """Shadow-side teardown on exit."""
         spt = self._spts.pop(proc.pid, None)
         if spt is not None:
+            self._forget_spt_rmap(spt, proc.pid)
             spt.release()
+
+    # -- balloon / reclaim ---------------------------------------------------------
+
+    def discard_gfn_backing(self, gfn: int) -> bool:
+        """Balloon release: zap every SPTE naming the host frame first.
+
+        Without this, the freed (and soon reallocated) host frame stays
+        reachable through stale shadow entries — the gap the
+        shadow-coherence audit catches.
+        """
+        if self.huge_block_base(gfn) is not None:
+            return False
+        hfn = self._backing.get(gfn)
+        if hfn is not None:
+            for pid, vpn in sorted(self._spt_rmap.pop(hfn, ())):
+                spt = self._spts.get(pid)
+                if spt is not None:
+                    pte = spt.lookup(vpn)
+                    if pte is not None and pte.frame == hfn and not pte.huge:
+                        spt.unmap(vpn)
+                proc = self.kernel.processes.get(pid)
+                if proc is not None:
+                    asid = self.asid_for(proc)
+                    for ctx in self.contexts:
+                        ctx.tlb.flush_page(asid, vpn)
+        return super().discard_gfn_backing(gfn)
+
+    def accessed_bit_tables(self, proc: Process) -> List[PageTable]:
+        """The walker sets A-bits in the shadow table, not the GPT."""
+        spt = self._spts.get(proc.pid)
+        return [spt] if spt is not None else []
+
+    def teardown_guest_memory(self) -> None:
+        """Eviction: release every shadow table before freeing backing."""
+        for spt in self._spts.values():
+            spt.release()
+        self._spts.clear()
+        self._spt_rmap.clear()
+        super().teardown_guest_memory()
 
     # -- transitions -------------------------------------------------------------------
 

@@ -13,7 +13,7 @@ silently without charging nested machinery.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Set, Tuple
 
 from repro.guest.process import Process
 from repro.hw.events import FaultPhase, SwitchKind
@@ -44,6 +44,10 @@ class SptOnEptMachine(NestedVmxMixin, Machine):
         self._spts: Dict[int, PageTable] = {}
         #: gfn2 -> gfn1 backing (L1's memslots for the L2 guest).
         self._l1_backing: Dict[int, int] = {}
+        #: Reverse map: gfn1 -> {(pid, vpn)} SPT12 entries naming it,
+        #: so discarding a gfn2's backing can zap exactly the shadow
+        #: entries translating to the freed gfn1.
+        self._spt_rmap: Dict[int, Set[Tuple[int, int]]] = {}
         self.l1_mmu_lock = SimLock("l1-mmu_lock", self.events)
 
     # -- memory chain --------------------------------------------------------
@@ -62,6 +66,8 @@ class SptOnEptMachine(NestedVmxMixin, Machine):
         if gfn1 is None:
             gfn1 = self.l1_phys.alloc_frame(tag="l2-ram")
             self._l1_backing[gfn2] = gfn1
+            if self._discarded_gfns:
+                self.note_gfn_rebacked(gfn2)
         return gfn1
 
     # -- translation -------------------------------------------------------------
@@ -132,6 +138,7 @@ class SptOnEptMachine(NestedVmxMixin, Machine):
                 user=gpt_pte.user,
                 executable=gpt_pte.executable,
             ))
+            self._spt_rmap.setdefault(gfn1, set()).add((proc.pid, vpn))
             levels = len(result.written_frames)
         else:
             spt.protect(vpn, writable=gpt_pte.writable, user=gpt_pte.user)
@@ -164,7 +171,12 @@ class SptOnEptMachine(NestedVmxMixin, Machine):
         asid = self.asid_for(proc)
         for vpn in vpns:
             if spt.lookup(vpn) is not None:
-                spt.unmap(vpn)
+                pte = spt.unmap(vpn)
+                entries = self._spt_rmap.get(pte.frame)
+                if entries is not None:
+                    entries.discard((proc.pid, vpn))
+                    if not entries:
+                        del self._spt_rmap[pte.frame]
                 self.l1_mmu_lock.run_locked(
                     ctx.clock, hold_ns=self.costs.mmu_lock_hold // 2,
                     overhead_ns=self.costs.mmu_lock_op,
@@ -187,13 +199,76 @@ class SptOnEptMachine(NestedVmxMixin, Machine):
         """Shadow-side teardown on exit."""
         spt = self._spts.pop(proc.pid, None)
         if spt is not None:
+            self._forget_spt_rmap(spt, proc.pid)
             spt.release()
 
     def _drop_spt(self, ctx: CpuCtx, proc: Process) -> None:
         spt = self._spts.pop(proc.pid, None)
         if spt is not None:
+            self._forget_spt_rmap(spt, proc.pid)
             spt.release()
         self.invalidate_asid(ctx, proc)
+
+    def _forget_spt_rmap(self, spt: PageTable, pid: int) -> None:
+        """Drop a whole shadow table's reverse-map entries."""
+        for vpn, pte in spt.iter_mappings():
+            entries = self._spt_rmap.get(pte.frame)
+            if entries is not None:
+                entries.discard((pid, vpn))
+                if not entries:
+                    del self._spt_rmap[pte.frame]
+
+    # -- balloon / reclaim ----------------------------------------------------
+
+    def discard_gfn_backing(self, gfn2: int) -> bool:
+        """Balloon release: unwind the full gfn2 -> gfn1 -> hfn chain.
+
+        The base implementation would pop ``_backing[gfn2]`` against a
+        dict keyed by *gfn1* — a wrong-frame free whenever the numbers
+        collide — and would leave SPT12 entries translating to the
+        freed gfn1.  Zap the shadow entries (via the reverse map), the
+        warm EPT01 entry, and both backing levels instead.
+        """
+        if self.huge_block_base(gfn2) is not None:
+            return False
+        gfn1 = self._l1_backing.pop(gfn2, None)
+        if gfn1 is None:
+            return False
+        for pid, vpn in sorted(self._spt_rmap.pop(gfn1, ())):
+            spt = self._spts.get(pid)
+            if spt is not None:
+                pte = spt.lookup(vpn)
+                if pte is not None and pte.frame == gfn1 and not pte.huge:
+                    spt.unmap(vpn)
+            proc = self.kernel.processes.get(pid)
+            if proc is not None:
+                asid = self.asid_for(proc)
+                for ctx in self.contexts:
+                    ctx.tlb.flush_page(asid, vpn)
+        self.l1_phys.free_frame(gfn1)
+        if self.ept01.lookup(gfn1) is not None and not self.ept01.lookup(gfn1).huge:
+            self.ept01.unmap(gfn1)
+        hfn = self._backing.pop(gfn1, None)
+        if hfn is not None:
+            self.host_phys.free_frame(hfn)
+        return hfn is not None
+
+    def accessed_bit_tables(self, proc: Process) -> List[PageTable]:
+        """The walker sets A-bits in SPT12, not the L2 guest table."""
+        spt = self._spts.get(proc.pid)
+        return [spt] if spt is not None else []
+
+    def teardown_guest_memory(self) -> None:
+        """Eviction: shadow tables, warm EPT01, and L1 memslots go too."""
+        for spt in self._spts.values():
+            spt.release()
+        self._spts.clear()
+        self._spt_rmap.clear()
+        self.ept01.destroy()
+        for gfn1 in self._l1_backing.values():
+            self.l1_phys.free_frame(gfn1)
+        self._l1_backing.clear()
+        super().teardown_guest_memory()
 
     # -- transitions -----------------------------------------------------------------------------
 

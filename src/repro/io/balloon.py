@@ -49,11 +49,16 @@ class BalloonDevice:
 
     # -- guest-driven operations ------------------------------------------
 
-    def inflate(self, ctx, nbytes: int) -> int:
+    def inflate(self, ctx, nbytes: int, prefer_recycled: bool = True) -> int:
         """Balloon up by ``nbytes``; returns pages actually reclaimed.
 
-        Stops early if guest memory runs out (the driver backs off under
-        memory pressure rather than OOMing the guest).
+        The driver prefers *recycled* guest frames: those have been
+        touched, so they carry host backing the discard can actually
+        release.  Fresh never-touched frames shrink nothing (the
+        pre-fix accounting bug: the balloon "released" frames that had
+        no backing, so the host footprint never moved).  Stops early if
+        guest memory runs out (the driver backs off under memory
+        pressure rather than OOMing the guest).
         """
         want = max(1, nbytes >> PAGE_SHIFT)
         machine = self.machine
@@ -63,7 +68,9 @@ class BalloonDevice:
             gfns = []
             for _ in range(batch):
                 try:
-                    gfns.append(machine.guest_phys.alloc_frame(tag="balloon"))
+                    gfns.append(machine.guest_phys.alloc_frame(
+                        tag="balloon", prefer_recycled=prefer_recycled
+                    ))
                 except MemoryError:
                     break
             if not gfns:
@@ -73,10 +80,16 @@ class BalloonDevice:
                 self.queue.add_buf(4096, write=False)
             self.queue.kick()
             machine.virtio_doorbell(ctx)
-            # Host side: drop the backing of each reported frame.
+            # Host side: drop the backing of each reported frame.  A
+            # discarded frame refaults its backing on the next guest
+            # touch after deflate — tracked for the refault counter.
             for gfn in gfns:
                 if machine.discard_gfn_backing(gfn):
                     self.host_frames_released += 1
+                    machine._discarded_gfns.add(gfn)
+            san = machine.sanitizers
+            if san is not None:
+                san.shadow.after_discard()
             self.queue.reap()
             self._held.extend(gfns)
             got += len(gfns)
@@ -84,7 +97,13 @@ class BalloonDevice:
         return got
 
     def deflate(self, ctx, nbytes: int) -> int:
-        """Return up to ``nbytes`` of ballooned pages to the guest."""
+        """Return up to ``nbytes`` of ballooned pages to the guest.
+
+        Returned frames have no host backing any more: the next guest
+        touch takes the full fault path and re-faults backing on
+        demand, charged at that touch (and counted by the EventLog's
+        ``refaults`` counter) — deflate itself only does driver work.
+        """
         want = max(1, nbytes >> PAGE_SHIFT)
         machine = self.machine
         released = 0

@@ -1,0 +1,29 @@
+"""Memory QoS: graceful degradation under host memory pressure.
+
+The :mod:`repro.memory` subsystem lets a fleet of secure containers
+overcommit one host's physical memory without falling off a cliff:
+
+* :class:`~repro.memory.wse.WorkingSetEstimator` — per-guest working
+  set sizes from periodic A-bit harvests of the tables the hardware
+  walker actually marks (guest tables on EPT designs, shadow tables on
+  shadow-paging designs).
+* :class:`~repro.memory.qos.ReclaimDaemon` — a watermark-driven sim
+  task that balloons idle memory out of guests proportionally, backs
+  off when reclaim runs dry, deflates on relief, and — under sustained
+  min-watermark pressure — asks the supervisor to evict the
+  lowest-priority guest (which the regular failure-recovery machinery
+  restarts once pressure clears).
+* :class:`~repro.memory.qos.MemoryQosConfig` — watermarks, scan
+  cadence, overcommit ratio for admission control, and the
+  pressure-spike fault shape.
+
+Everything is driven by virtual time and the fleet's seeded
+:class:`~repro.faults.FaultPlan`, so overcommitted runs are
+bit-identical across same-seed repeats; with no config installed every
+hook is a no-op and results are unchanged.
+"""
+
+from repro.memory.qos import MemoryQosConfig, ReclaimDaemon
+from repro.memory.wse import WorkingSetEstimator
+
+__all__ = ["MemoryQosConfig", "ReclaimDaemon", "WorkingSetEstimator"]

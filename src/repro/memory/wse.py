@@ -1,0 +1,54 @@
+"""Working-set estimation from harvested accessed bits.
+
+Each reclaim round, :meth:`Machine.harvest_working_set` scans (and
+clears) the A-bits of the tables the hardware walker marks, returning
+the pages touched since the previous scan.  That per-interval touch
+count is a noisy sample of the guest's working set; the estimator
+smooths it with an exponentially-weighted moving average so one quiet
+interval does not immediately declare a busy guest idle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+
+class WorkingSetEstimator:
+    """EWMA working-set sizes keyed by container id."""
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._ewma: Dict[str, float] = {}
+        self.updates = 0
+
+    def update(self, key: str, accessed_pages: int) -> float:
+        """Fold one harvest sample in; returns the new estimate."""
+        prev = self._ewma.get(key)
+        if prev is None:
+            est = float(accessed_pages)
+        else:
+            est = self.alpha * accessed_pages + (1.0 - self.alpha) * prev
+        self._ewma[key] = est
+        self.updates += 1
+        return est
+
+    def working_set(self, key: str) -> float:
+        """Current estimate in pages (0.0 when never sampled)."""
+        return self._ewma.get(key, 0.0)
+
+    def idle_pages(self, key: str, resident_pages: int) -> int:
+        """Estimated reclaimable pages: resident minus working set.
+
+        A guest that has never been sampled reports zero idle memory —
+        reclaim must not balloon blind.
+        """
+        if key not in self._ewma:
+            return 0
+        return max(0, resident_pages - int(math.ceil(self._ewma[key])))
+
+    def forget(self, key: str) -> None:
+        """Drop a guest's history (eviction / restart)."""
+        self._ewma.pop(key, None)

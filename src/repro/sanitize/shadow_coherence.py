@@ -136,6 +136,18 @@ class ShadowCoherenceSanitizer:
                                 "TLB entry survived invalidate_pages")
         self._maybe_scan()
 
+    def after_discard(self) -> None:
+        """Audit cached translations after a balloon/reclaim discard.
+
+        A discarded (and soon reallocated) host frame must not remain
+        reachable through any TLB entry or shadow PTE; a full
+        cross-check right after the discard catches the "forgot to
+        zap" bug class at its source instead of at the next sampled
+        sync.
+        """
+        self.report.check("shadow")
+        self.scan_tlbs()
+
     # -- TLB-vs-2D-walk audit --------------------------------------------
 
     def scan_tlbs(self) -> int:

@@ -225,6 +225,71 @@ class RecoveryStats:
 
 
 # ---------------------------------------------------------------------------
+# Host memory-pressure accounting (the reclaim daemon's scoreboard)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PressureStats:
+    """Memory-QoS accounting for one supervised fleet run.
+
+    Fed by the :class:`~repro.memory.qos.ReclaimDaemon` and the
+    runtime's admission controller; all inputs are virtual time or
+    deterministic counters, so two runs with the same fault seed
+    produce bit-identical snapshots.
+    """
+
+    #: Working-set-estimation scan rounds completed.
+    wse_scans: int = 0
+    #: PTE leaf entries examined (and A-bit-cleared) across all scans.
+    wse_entries_scanned: int = 0
+    #: Pages observed accessed since the previous scan, summed per scan.
+    wse_pages_accessed: int = 0
+    #: Reclaim rounds in which at least one balloon was inflated.
+    reclaim_rounds: int = 0
+    #: Host frames released back to the host via balloon inflation.
+    frames_reclaimed: int = 0
+    #: Frames handed back to guests on deflate-on-relief.
+    frames_returned: int = 0
+    #: Launches deferred (parked) by admission control.
+    admissions_deferred: int = 0
+    #: Launches ultimately admitted after waiting in the queue.
+    admissions_admitted: int = 0
+    #: Guests evicted under sustained min-watermark pressure.
+    evictions: int = 0
+    #: Injected pressure-spike episodes (``memory.pressure-spike``).
+    pressure_spikes: int = 0
+    #: Lowest host free-frame count observed at a daemon scan.
+    min_free_frames: int = -1
+
+    def note_free_frames(self, free: int) -> None:
+        """Track the low-water observation of host free frames."""
+        if self.min_free_frames < 0 or free < self.min_free_frames:
+            self.min_free_frames = free
+
+    @property
+    def reclaimed_bytes(self) -> int:
+        """Host bytes released via reclaim (4 KiB frames)."""
+        return self.frames_reclaimed << 12
+
+    def snapshot(self) -> Dict[str, float]:
+        """A flat, sorted-key dict for bit-identity comparisons."""
+        return {
+            "admissions_admitted": float(self.admissions_admitted),
+            "admissions_deferred": float(self.admissions_deferred),
+            "evictions": float(self.evictions),
+            "frames_reclaimed": float(self.frames_reclaimed),
+            "frames_returned": float(self.frames_returned),
+            "min_free_frames": float(self.min_free_frames),
+            "pressure_spikes": float(self.pressure_spikes),
+            "reclaim_rounds": float(self.reclaim_rounds),
+            "wse_entries_scanned": float(self.wse_entries_scanned),
+            "wse_pages_accessed": float(self.wse_pages_accessed),
+            "wse_scans": float(self.wse_scans),
+        }
+
+
+# ---------------------------------------------------------------------------
 # Per-phase machine statistics (benchmark phases must not leak counts)
 # ---------------------------------------------------------------------------
 

@@ -108,3 +108,110 @@ class TestHostRelease:
         vma = m.mmap(ctx, proc, 128 * KIB)
         for vpn in range(vma.start_vpn, vma.end_vpn):
             m.touch(ctx, proc, vpn, write=True)
+
+
+ALL_SCENARIOS = ["kvm-ept (BM)", "kvm-spt (BM)", "pvm (BM)",
+                 "kvm-ept (NST)", "kvm-spt (NST)", "pvm (NST)",
+                 "pvm-dp (NST)"]
+
+
+class TestRecycledInflate:
+    """The accounting fix: inflate prefers *recycled* (previously
+    guest-used, host-backed) frames, so ballooning memory the guest has
+    freed actually releases host frames instead of grabbing fresh
+    never-backed ones and releasing nothing."""
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_inflate_releases_host_backing(self, name):
+        m, ctx, proc, vma = _warm(name, pages=32)
+        m.munmap(ctx, proc, vma)  # guest frees; frames go to recycled
+        host_used = m.host_phys.allocator.used_frames
+        got = m.balloon.inflate(ctx, 32 << 12)
+        assert got == 32
+        released = m.balloon.host_frames_released
+        assert released > 0
+        assert m.host_phys.allocator.used_frames == host_used - released
+
+    def test_fresh_frames_release_nothing(self):
+        """Fresh (never-touched) guest frames have no host backing, so
+        inflating them cannot release host memory — the pre-fix
+        behavior, still reachable with ``prefer_recycled=False``."""
+        m, ctx, proc, vma = _warm("kvm-ept (BM)", pages=8)
+        host_used = m.host_phys.allocator.used_frames
+        got = m.balloon.inflate(ctx, 8 << 12, prefer_recycled=False)
+        assert got == 8
+        assert m.balloon.host_frames_released == 0
+        assert m.host_phys.allocator.used_frames == host_used
+
+
+def _churn_to_refault(m, ctx, proc, max_pages=64):
+    """Touch fresh pages until the stream allocator wraps into the
+    recycled (discarded) frames; returns the refaulting vpn or None."""
+    vma = m.mmap(ctx, proc, max_pages << 12)
+    for vpn in range(vma.start_vpn, vma.end_vpn):
+        before = m.events.refaults.total
+        m.touch(ctx, proc, vpn, write=True)
+        if m.events.refaults.total > before:
+            return vpn
+    return None
+
+
+class TestRefaultCost:
+    def test_refault_counted_and_charged(self):
+        """A deflated-then-reused frame must take the full fault path:
+        the EventLog refault counter records it and the guest pays
+        fault-service time, not a TLB hit."""
+        m, ctx, proc, vma = _warm("pvm (NST)", pages=16,
+                                  guest_mem_bytes=1 * MIB)
+        m.munmap(ctx, proc, vma)
+        m.balloon.inflate(ctx, 16 << 12)
+        # Not necessarily all 16: the recycled queue can contain freed
+        # page-table pages that never had host backing.
+        assert m.balloon.host_frames_released > 0
+        m.balloon.deflate(ctx, 16 << 12)
+        assert m.events.refaults.total == 0
+        vpn = _churn_to_refault(m, ctx, proc, max_pages=240)
+        assert vpn is not None, "discarded frames never reused"
+        assert m.events.refaults.get("balloon") > 0
+        # The refaulting touch paid fault service; a re-touch is a hit.
+        t0 = ctx.clock.now
+        m.touch(ctx, proc, vpn, write=True)
+        warm_ns = ctx.clock.now - t0
+        assert warm_ns < 1000  # warm touch is TLB-hit cheap
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_discarded_reuse_refaults_everywhere(self, name):
+        """Every machine type re-faults (and counts) reuse of a frame
+        whose host backing the balloon discarded."""
+        m, ctx, proc, vma = _warm(name, pages=16, guest_mem_bytes=1 * MIB)
+        m.munmap(ctx, proc, vma)
+        m.balloon.inflate(ctx, 16 << 12)
+        assert m.balloon.host_frames_released > 0, (
+            f"{name}: ballooned recycled frames must release host backing"
+        )
+        m.balloon.deflate(ctx, 16 << 12)
+        assert _churn_to_refault(m, ctx, proc, max_pages=240) is not None
+        assert m.events.refaults.get("balloon") > 0
+
+
+@pytest.mark.sanitize
+class TestBalloonShadowCoherence:
+    """Satellite regression for the "forgot to zap" bug class: balloon
+    out memory, hand it back, and touch it again on every machine type
+    with the shadow-coherence sanitizer attached.  A discard that
+    leaves a stale shadow entry or TLB translation behind trips the
+    sanitizer during inflate (``after_discard``) or on the re-touch."""
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_balloon_then_touch_sanitized(self, name):
+        m, ctx, proc, vma = _warm(name, pages=32, sanitize=True)
+        m.munmap(ctx, proc, vma)
+        m.balloon.inflate(ctx, 32 << 12)
+        m.balloon.deflate(ctx, 32 << 12)
+        vma2 = m.mmap(ctx, proc, 32 << 12)
+        for vpn in range(vma2.start_vpn, vma2.end_vpn):
+            m.touch(ctx, proc, vpn, write=True)
+        suite = m.sanitizers
+        assert suite is not None
+        suite.shadow.after_discard()
+        assert suite.violations == []

@@ -63,6 +63,7 @@ class TestExperimentRegistry:
             "table1", "table2", "fig2", "fig4", "fig10",
             "table3", "table4", "fig11", "fig12", "fig13",
             "chaos",  # fault-injection / availability extension
+            "overcommit",  # memory-QoS density sweep extension
         }
 
 

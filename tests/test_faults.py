@@ -26,6 +26,7 @@ from repro.faults import (
     SITE_GUEST_PANIC,
     SITE_GUEST_PHYS,
     SITE_L0_STALL,
+    SITE_MEMORY_PRESSURE,
     SITE_MIGRATION_COPY,
     SITE_VIRTIO_COMPLETION,
     FaultPlan,
@@ -142,6 +143,7 @@ class TestFaultPlan:
         assert KNOWN_SITES == {
             SITE_CONTAINER_BOOT, SITE_GUEST_PANIC, SITE_L0_STALL,
             SITE_VIRTIO_COMPLETION, SITE_MIGRATION_COPY, SITE_GUEST_PHYS,
+            SITE_MEMORY_PRESSURE,
         }
 
 

@@ -131,3 +131,99 @@ class TestPhysicalMemory:
         f = pm.alloc_frame()
         pm.free_frame(f)
         assert pm.alloc_frame() != f
+
+
+class TestPreferRecycled:
+    def test_stream_prefers_recycled_when_asked(self):
+        a = FrameAllocator(8, policy="stream")
+        f1 = a.alloc_frame()
+        a.free_frame(f1)
+        assert a.alloc_frame(prefer_recycled=True) == f1
+
+    def test_prefer_recycled_falls_back_to_fresh(self):
+        a = FrameAllocator(4, policy="stream")
+        assert a.alloc_frame(prefer_recycled=True) == 0  # nothing recycled
+
+    def test_firstfit_ignores_hint(self):
+        a = FrameAllocator(8)
+        f = a.alloc_frame(prefer_recycled=True)
+        a.free_frame(f)
+        assert a.alloc_frame(prefer_recycled=True) == f
+
+
+class TestChurn:
+    """Alloc/free interleave torture: tag tracking, coalescing, and the
+    fragmentation gauge stay consistent through arbitrary churn."""
+
+    def test_interleaved_churn_tag_tracking(self):
+        a = FrameAllocator(256)
+        held = {}
+        # A fixed pseudo-random-ish interleave (deterministic, no RNG):
+        # allocate two, free one, in shifting tag lanes.
+        for i in range(200):
+            tag = f"lane{i % 3}"
+            f = a.alloc_frame(tag=tag)
+            held.setdefault(tag, []).append(f)
+            if i % 2:
+                victim_lane = f"lane{(i + 1) % 3}"
+                if held.get(victim_lane):
+                    a.free_frame(held[victim_lane].pop(0))
+        by_tag = a.usage_by_tag()
+        for tag, frames in held.items():
+            assert by_tag.get(tag, 0) == len(frames)
+            for f in frames:
+                assert a.owner_of(f) == tag
+        assert a.used_frames == sum(len(v) for v in held.values())
+        assert a.free_frames == 256 - a.used_frames
+
+    def test_churn_then_full_free_coalesces_completely(self):
+        a = FrameAllocator(128)
+        ranges = [a.alloc(n) for n in (5, 17, 3, 40, 1, 9)]
+        singles = [a.alloc_frame() for _ in range(10)]
+        for r in ranges[::2]:
+            a.free(r)
+        for f in singles[::3]:
+            a.free_frame(f)
+        for r in ranges[1::2]:
+            a.free(r)
+        for i, f in enumerate(singles):
+            if i % 3:
+                a.free_frame(f)
+        assert a.free_frames == 128
+        stats = a.fragmentation_stats()
+        assert stats["free_runs"] == 1
+        assert stats["largest_run"] == 128
+        assert stats["fragmentation"] == 0.0
+        assert a.alloc(128).count == 128  # fully coalesced: one big run
+
+    def test_fragmentation_gauge_tracks_holes(self):
+        a = FrameAllocator(64)
+        frames = [a.alloc_frame() for _ in range(64)]
+        for f in frames[::2]:  # free every other frame: max fragmentation
+            a.free_frame(f)
+        stats = a.fragmentation_stats()
+        assert stats["free_frames"] == 32
+        assert stats["free_runs"] == 32
+        assert stats["largest_run"] == 1
+        assert stats["fragmentation"] == pytest.approx(1 - 1 / 32)
+        for f in frames[1::2]:  # free the rest: holes merge away
+            a.free_frame(f)
+        stats = a.fragmentation_stats()
+        assert stats["free_runs"] == 1
+        assert stats["fragmentation"] == 0.0
+
+    def test_stream_gauge_excludes_recycled(self):
+        a = FrameAllocator(16, policy="stream")
+        f = a.alloc_frame()
+        a.free_frame(f)
+        stats = a.fragmentation_stats()
+        assert stats["recycled"] == 1
+        assert stats["free_frames"] == 16  # fresh 15 + recycled 1
+        assert stats["largest_run"] == 15  # contiguous gauge: fresh only
+
+    def test_churn_double_free_still_rejected(self):
+        a = FrameAllocator(32)
+        keep = [a.alloc_frame() for _ in range(8)]
+        a.free_frame(keep[3])
+        with pytest.raises(HardwareError):
+            a.free_frame(keep[3])
